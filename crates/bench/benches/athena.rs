@@ -1,0 +1,54 @@
+//! Criterion benches over the full Athena engine: one complete simulated
+//! run of the small scenario per strategy, plus scenario construction and
+//! the simulator's raw event throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dde_core::engine::{run_scenario, RunOptions};
+use dde_core::strategy::Strategy;
+use dde_workload::scenario::{Scenario, ScenarioConfig};
+
+fn scenario_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("athena/scenario_build");
+    group.bench_function("small_4x4", |b| {
+        b.iter(|| black_box(Scenario::build(ScenarioConfig::small().with_seed(1))))
+    });
+    group.sample_size(20);
+    group.bench_function("paper_8x8", |b| {
+        b.iter(|| black_box(Scenario::build(ScenarioConfig::default().with_seed(1))))
+    });
+    group.finish();
+}
+
+fn engine_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("athena/small_scenario_run");
+    group.sample_size(10);
+    let scenario = Scenario::build(ScenarioConfig::small().with_seed(5).with_fast_ratio(0.4));
+    for strategy in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.code()),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| black_box(run_scenario(scenario, RunOptions::new(strategy))))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn paper_scale_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("athena/paper_scenario_run");
+    group.sample_size(10);
+    let scenario = Scenario::build(ScenarioConfig::default().with_seed(5).with_fast_ratio(0.4));
+    group.bench_function("lvfl_8x8_90queries", |b| {
+        b.iter(|| {
+            black_box(run_scenario(
+                &scenario,
+                RunOptions::new(Strategy::LvfLabelShare),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scenario_build, engine_runs, paper_scale_run);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for the §III-B source-selection machinery: greedy
+//! weighted set cover vs. the exact branch-and-bound solver, and the
+//! aggregation-price computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dde_coverage::aggregation::aggregation_price;
+use dde_coverage::setcover::{exact_cover, greedy_cover, Source};
+use dde_logic::label::Label;
+use dde_logic::meta::Cost;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+fn instance(
+    labels: usize,
+    sources: usize,
+    seed: u64,
+) -> (BTreeSet<Label>, Vec<Source<usize>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let needed: BTreeSet<Label> = (0..labels).map(|i| Label::new(format!("l{i}"))).collect();
+    let srcs: Vec<Source<usize>> = (0..sources)
+        .map(|i| {
+            let k = rng.gen_range(1..=4.min(labels));
+            let covers: BTreeSet<String> = (0..k)
+                .map(|_| format!("l{}", rng.gen_range(0..labels)))
+                .collect();
+            Source::new(i, covers, Cost::from_bytes(rng.gen_range(100_000..1_000_000)))
+        })
+        .collect();
+    (needed, srcs)
+}
+
+fn greedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage/greedy_cover");
+    for (labels, sources) in [(10usize, 20usize), (40, 120), (112, 250)] {
+        // 112 labels / 250 sources is exactly the paper-scenario scale.
+        let (needed, srcs) = instance(labels, sources, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{labels}x{sources}")),
+            &(needed, srcs),
+            |b, (needed, srcs)| b.iter(|| black_box(greedy_cover(black_box(needed), srcs))),
+        );
+    }
+    group.finish();
+}
+
+fn greedy_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage/greedy_vs_exact");
+    let (needed, srcs) = instance(6, 14, 2);
+    group.bench_function("greedy_6x14", |b| {
+        b.iter(|| black_box(greedy_cover(black_box(&needed), &srcs)))
+    });
+    group.bench_function("exact_6x14", |b| {
+        b.iter(|| black_box(exact_cover(black_box(&needed), &srcs)))
+    });
+    group.finish();
+}
+
+fn aggregation(c: &mut Criterion) {
+    let (needed, srcs) = instance(20, 60, 3);
+    c.bench_function("coverage/aggregation_price_20x60", |b| {
+        b.iter(|| black_box(aggregation_price(black_box(&needed), &srcs)))
+    });
+}
+
+criterion_group!(benches, greedy_scaling, greedy_vs_exact, aggregation);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for the §V naming substrate: trie lookups at city
+//! scale, approximate substitution, and sub-additive utility triage.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dde_naming::name::Name;
+use dde_naming::tree::NameTree;
+use dde_naming::utility::{greedy_select, UtilityItem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A city-shaped namespace: /city/<district>/<block>/<hour>/<camera>.
+fn city_names(n: usize, seed: u64) -> Vec<Name> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Name::from_components([
+                "city".to_string(),
+                format!("district{}", rng.gen_range(0..12)),
+                format!("block{}", rng.gen_range(0..40)),
+                format!("h{}", rng.gen_range(0..24)),
+                format!("cam{}", rng.gen_range(0..6)),
+            ])
+        })
+        .collect()
+}
+
+fn tree_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naming/name_tree");
+    for n in [1_000usize, 10_000] {
+        let names = city_names(n, 1);
+        let tree: NameTree<usize> = names
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, name)| (name, i))
+            .collect();
+        let probes = city_names(256, 2);
+        group.bench_with_input(
+            BenchmarkId::new("longest_prefix", n),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    for p in probes {
+                        black_box(tree.longest_prefix(black_box(p)));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("closest", n), &probes, |b, probes| {
+            b.iter(|| {
+                for p in probes {
+                    black_box(tree.closest(black_box(p), 2));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_get", n), &probes, |b, probes| {
+            b.iter(|| {
+                for p in probes {
+                    black_box(tree.get(black_box(p)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn utility_triage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naming/utility_greedy_select");
+    for n in [16usize, 64, 256] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let names = city_names(n, 4);
+        let items: Vec<UtilityItem> = names
+            .into_iter()
+            .map(|name| {
+                UtilityItem::new(name, rng.gen_range(0.1..10.0), rng.gen_range(50..1000))
+            })
+            .collect();
+        let budget: u64 = items.iter().map(|i| i.cost).sum::<u64>() / 3;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| black_box(greedy_select(black_box(items), budget)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tree_lookups, utility_triage);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Criterion benches for the §IV decision-driven scheduling algorithms:
+//! LVF, feasibility analysis, the hierarchical multi-query scheduler, and
+//! the validity-constrained short-circuit greedy of ref \[3].
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dde_logic::meta::{Cost, Probability};
+use dde_logic::time::{SimDuration, SimTime};
+use dde_sched::feasibility::analyze;
+use dde_sched::hierarchical::{hierarchical_schedule, QuerySpec};
+use dde_sched::hybrid::greedy_validity_shortcircuit;
+use dde_sched::item::{Channel, RetrievalItem};
+use dde_sched::lvf::lvf_schedule;
+use dde_sched::optimal::brute_force_schedulable;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn items(n: usize, seed: u64) -> Vec<RetrievalItem> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            RetrievalItem::new(
+                format!("o{i}"),
+                Cost::from_bytes(rng.gen_range(100_000..1_000_000)),
+                SimDuration::from_secs(rng.gen_range(30..600)),
+            )
+            .with_prob(Probability::clamped(rng.gen_range(0.1..0.9)))
+        })
+        .collect()
+}
+
+fn lvf_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling/lvf_schedule");
+    for n in [8usize, 32, 128] {
+        let input = items(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                black_box(lvf_schedule(
+                    black_box(input),
+                    Channel::mbps1(),
+                    SimTime::ZERO,
+                    SimDuration::from_secs(3600),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn feasibility_analysis(c: &mut Criterion) {
+    let input = items(64, 2);
+    c.bench_function("scheduling/analyze_64", |b| {
+        b.iter(|| {
+            black_box(analyze(
+                black_box(&input),
+                Channel::mbps1(),
+                SimTime::ZERO,
+                SimDuration::from_secs(600),
+            ))
+        })
+    });
+}
+
+fn lvf_vs_bruteforce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling/schedulability");
+    let input = items(7, 3);
+    group.bench_function("lvf_n7", |b| {
+        b.iter(|| {
+            lvf_schedule(
+                black_box(&input),
+                Channel::mbps1(),
+                SimTime::ZERO,
+                SimDuration::from_secs(60),
+            )
+            .1
+            .is_feasible()
+        })
+    });
+    group.bench_function("bruteforce_n7", |b| {
+        b.iter(|| {
+            brute_force_schedulable(
+                black_box(&input),
+                Channel::mbps1(),
+                SimTime::ZERO,
+                SimDuration::from_secs(60),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn hierarchical_multi_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling/hierarchical");
+    for queries in [3usize, 10, 30] {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let specs: Vec<QuerySpec> = (0..queries)
+            .map(|q| {
+                QuerySpec::new(
+                    items(6, q as u64 + 100),
+                    SimDuration::from_secs(rng.gen_range(60..600)),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(queries),
+            &specs,
+            |b, specs| {
+                b.iter(|| {
+                    black_box(hierarchical_schedule(
+                        black_box(specs),
+                        Channel::mbps1(),
+                        SimTime::ZERO,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn hybrid_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling/hybrid_greedy");
+    for n in [6usize, 12, 24] {
+        let input = items(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                black_box(greedy_validity_shortcircuit(
+                    black_box(input),
+                    Channel::mbps1(),
+                    SimTime::ZERO,
+                    SimDuration::from_secs(300),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn shared_vs_no_reuse(c: &mut Criterion) {
+    use dde_sched::shared::{no_reuse_cost, shared_schedule, SharedQuery};
+    let mut rng = SmallRng::seed_from_u64(6);
+    // 10 queries drawing 4 items each from a 12-object pool (heavy overlap).
+    let pool = items(12, 60);
+    let queries: Vec<SharedQuery> = (0..10)
+        .map(|_| {
+            let mut picked: Vec<_> = (0..4)
+                .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+                .collect();
+            picked.dedup_by(|a, b| a.label == b.label);
+            SharedQuery::new(picked, SimDuration::from_secs(rng.gen_range(60..600)))
+        })
+        .collect();
+    let mut group = c.benchmark_group("scheduling/shared_objects");
+    group.bench_function("reuse_aware_10q", |b| {
+        b.iter(|| black_box(shared_schedule(black_box(&queries), Channel::mbps1(), SimTime::ZERO)))
+    });
+    group.bench_function("no_reuse_10q", |b| {
+        b.iter(|| black_box(no_reuse_cost(black_box(&queries), Channel::mbps1(), SimTime::ZERO)))
+    });
+    group.finish();
+}
+
+fn tree_planning(c: &mut Criterion) {
+    use dde_logic::meta::{ConditionMeta, MetaTable};
+    use dde_logic::parse::parse_expr;
+    use dde_sched::tree::plan_expr;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let expr = parse_expr(
+        "((v0 & v1 & v2) | (v3 & v4)) & ((v5 | v6 | v7) & !(v8 & v9))",
+    )
+    .expect("valid");
+    let meta: MetaTable = (0..10)
+        .map(|i| {
+            (
+                dde_logic::label::Label::new(format!("v{i}")),
+                ConditionMeta::new(
+                    Cost::from_bytes(rng.gen_range(100_000..1_000_000)),
+                    SimDuration::MAX,
+                )
+                .with_prob(Probability::clamped(rng.gen_range(0.1..0.9))),
+            )
+        })
+        .collect();
+    c.bench_function("scheduling/plan_expr_tree_10leaves", |b| {
+        b.iter(|| black_box(plan_expr(black_box(&expr), black_box(&meta))))
+    });
+}
+
+criterion_group!(
+    benches,
+    lvf_scaling,
+    feasibility_analysis,
+    lvf_vs_bruteforce,
+    hierarchical_multi_query,
+    hybrid_greedy,
+    shared_vs_no_reuse,
+    tree_planning
+);
+criterion_main!(benches);

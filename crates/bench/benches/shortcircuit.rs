@@ -1,0 +1,100 @@
+//! Criterion benches for the §III-A short-circuit machinery: expected-cost
+//! evaluation, optimal AND/OR ordering, and DNF planning, including the
+//! paper's worked example (h: 4 MB @ 0.6, k: 5 MB @ 0.2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dde_logic::dnf::{Dnf, Term};
+use dde_logic::label::Label;
+use dde_logic::meta::{ConditionMeta, Cost, MetaTable, Probability};
+use dde_logic::time::SimDuration;
+use dde_sched::item::RetrievalItem;
+use dde_sched::optimal::brute_force_min_expected_cost;
+use dde_sched::shortcircuit::{expected_and_cost, optimal_and_order, plan_dnf};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn items(n: usize, seed: u64) -> Vec<RetrievalItem> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            RetrievalItem::new(
+                format!("o{i}"),
+                Cost::from_bytes(rng.gen_range(100_000..1_000_000)),
+                SimDuration::from_secs(rng.gen_range(10..600)),
+            )
+            .with_prob(Probability::clamped(rng.gen_range(0.05..0.95)))
+        })
+        .collect()
+}
+
+fn paper_example(c: &mut Criterion) {
+    let h = RetrievalItem::new("h", Cost::from_bytes(4_000_000), SimDuration::MAX)
+        .with_prob(Probability::clamped(0.6));
+    let k = RetrievalItem::new("k", Cost::from_bytes(5_000_000), SimDuration::MAX)
+        .with_prob(Probability::clamped(0.2));
+    let pair = vec![h, k];
+    c.bench_function("shortcircuit/paper_worked_example", |b| {
+        b.iter(|| {
+            let order = optimal_and_order(black_box(&pair));
+            black_box(expected_and_cost(&order))
+        })
+    });
+}
+
+fn ordering_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortcircuit/optimal_and_order");
+    for n in [4usize, 16, 64, 256] {
+        let input = items(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| black_box(optimal_and_order(black_box(input))))
+        });
+    }
+    group.finish();
+}
+
+fn greedy_vs_bruteforce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortcircuit/vs_bruteforce");
+    let input = items(7, 9);
+    group.bench_function("greedy_n7", |b| {
+        b.iter(|| expected_and_cost(&optimal_and_order(black_box(&input))))
+    });
+    group.bench_function("bruteforce_n7", |b| {
+        b.iter(|| brute_force_min_expected_cost(black_box(&input)))
+    });
+    group.finish();
+}
+
+fn dnf_planning(c: &mut Criterion) {
+    // A paper-shaped route query: 5 alternative routes × 12 segments.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let terms: Vec<Term> = (0..5)
+        .map(|t| Term::all_of((0..12).map(|s| format!("seg_{t}_{s}"))))
+        .collect();
+    let dnf = Dnf::from_terms(terms);
+    let meta: MetaTable = dnf
+        .labels()
+        .into_iter()
+        .map(|l| {
+            (
+                Label::new(l.as_str()),
+                ConditionMeta::new(
+                    Cost::from_bytes(rng.gen_range(100_000..1_000_000)),
+                    SimDuration::from_secs(rng.gen_range(30..600)),
+                )
+                .with_prob(Probability::clamped(0.8)),
+            )
+        })
+        .collect();
+    c.bench_function("shortcircuit/plan_route_query_5x12", |b| {
+        b.iter(|| black_box(plan_dnf(black_box(&dnf), black_box(&meta))))
+    });
+}
+
+criterion_group!(
+    benches,
+    paper_example,
+    ordering_scaling,
+    greedy_vs_bruteforce,
+    dnf_planning
+);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates **Fig. 3**: total network bandwidth consumption of all five
+//! retrieval schemes at 40% fast-changing objects.
+//!
+//! Usage: `cargo run -p dde-bench --bin fig3 --release`
+//! Knobs: `DDE_REPS` (default 10), `DDE_SCALE` (`paper`/`small`), `DDE_SEED`.
+
+use dde_bench::{print_table, sweep, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    eprintln!(
+        "fig3: {} reps, 40% fast-changing objects, metric = total MB on all links",
+        cfg.reps
+    );
+    let rows = sweep(&cfg, &[0.4], |r| r.total_megabytes());
+    print_table(&rows, "total bandwidth, MB");
+}

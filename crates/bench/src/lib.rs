@@ -1,0 +1,206 @@
+//! # dde-bench — figure regeneration and ablation harnesses
+//!
+//! One binary per paper figure (`fig2`, `fig3`), an `ablations` binary for
+//! the design-choice sweeps called out in DESIGN.md, and Criterion
+//! micro-benches for the core algorithms.
+//!
+//! The experiment runner lives here so binaries and integration tests share
+//! one implementation.
+
+#![warn(missing_docs)]
+
+use dde_core::engine::{run_scenario, RunOptions, RunReport};
+use dde_core::strategy::Strategy;
+use dde_workload::scenario::{Scenario, ScenarioConfig};
+
+/// Shared command-line-ish knobs for the figure binaries, read from
+/// environment variables so `cargo run --bin fig2` works with no plumbing:
+///
+/// - `DDE_REPS` — repetitions per data point (default 10, the paper's count);
+/// - `DDE_SCALE` — `paper` (default) or `small` (quick smoke run);
+/// - `DDE_SEED` — base seed (default 1).
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Repetitions per data point.
+    pub reps: u64,
+    /// Base scenario configuration.
+    pub base: ScenarioConfig,
+    /// Base seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// Reads the harness configuration from the environment.
+    pub fn from_env() -> HarnessConfig {
+        let reps = std::env::var("DDE_REPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        let base = match std::env::var("DDE_SCALE").as_deref() {
+            Ok("small") => ScenarioConfig::small(),
+            _ => ScenarioConfig::default(),
+        };
+        let seed = std::env::var("DDE_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        HarnessConfig { reps, base, seed }
+    }
+}
+
+/// Mean and standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub stddev: f64,
+}
+
+/// Computes mean and standard deviation.
+pub fn stat(samples: &[f64]) -> Stat {
+    if samples.is_empty() {
+        return Stat {
+            mean: 0.0,
+            stddev: 0.0,
+        };
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let stddev = if samples.len() < 2 {
+        0.0
+    } else {
+        (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+    };
+    Stat { mean, stddev }
+}
+
+/// Runs `strategy` on the scenario derived from `base` with `fast_ratio`
+/// and `seed`, returning the report.
+pub fn run_point(
+    base: &ScenarioConfig,
+    fast_ratio: f64,
+    strategy: Strategy,
+    seed: u64,
+) -> RunReport {
+    let cfg = base.clone().with_seed(seed).with_fast_ratio(fast_ratio);
+    let scenario = Scenario::build(cfg);
+    let mut options = RunOptions::new(strategy);
+    options.seed = seed ^ 0x5eed;
+    run_scenario(&scenario, options)
+}
+
+/// One figure row: per-strategy statistics at one x-value.
+#[derive(Debug, Clone)]
+pub struct FigureRow {
+    /// The x-axis value (fast-changing-object ratio).
+    pub fast_ratio: f64,
+    /// Per strategy (paper order), the metric's mean and stddev.
+    pub per_strategy: Vec<(Strategy, Stat)>,
+}
+
+/// Sweeps `fast_ratios` × strategies × reps, extracting `metric` from each
+/// run. Runs are independent and deterministic per seed, so they execute on
+/// a crossbeam scoped-thread pool sized to the available parallelism; the
+/// output is identical to the sequential order.
+pub fn sweep(
+    cfg: &HarnessConfig,
+    fast_ratios: &[f64],
+    metric: impl Fn(&RunReport) -> f64 + Sync,
+) -> Vec<FigureRow> {
+    // Flatten the full (ratio, strategy, rep) grid into one work list.
+    let grid: Vec<(usize, usize, u64)> = fast_ratios
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, _)| {
+            Strategy::ALL
+                .iter()
+                .enumerate()
+                .flat_map(move |(si, _)| (0..cfg.reps).map(move |r| (ri, si, r)))
+        })
+        .collect();
+    let results: Vec<parking_lot::Mutex<f64>> =
+        grid.iter().map(|_| parking_lot::Mutex::new(f64::NAN)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(grid.len().max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if k >= grid.len() {
+                    break;
+                }
+                let (ri, si, r) = grid[k];
+                let report = run_point(
+                    &cfg.base,
+                    fast_ratios[ri],
+                    Strategy::ALL[si],
+                    cfg.seed + r,
+                );
+                *results[k].lock() = metric(&report);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    // Reassemble rows in the sequential order.
+    let mut it = results.iter();
+    fast_ratios
+        .iter()
+        .map(|&fr| {
+            let per_strategy = Strategy::ALL
+                .iter()
+                .map(|&s| {
+                    let samples: Vec<f64> =
+                        (0..cfg.reps).map(|_| *it.next().expect("grid-sized").lock()).collect();
+                    (s, stat(&samples))
+                })
+                .collect();
+            FigureRow {
+                fast_ratio: fr,
+                per_strategy,
+            }
+        })
+        .collect()
+}
+
+/// Prints rows as an aligned table with `header` naming the metric.
+pub fn print_table(rows: &[FigureRow], header: &str) {
+    print!("{:>10}", "fast_ratio");
+    for s in Strategy::ALL {
+        print!("  {:>16}", s.code());
+    }
+    println!("    ({header}, mean ± stddev)");
+    for row in rows {
+        print!("{:>10.2}", row.fast_ratio);
+        for (_, st) in &row.per_strategy {
+            print!("  {:>9.3} ±{:>5.3}", st.mean, st.stddev);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_basics() {
+        let s = stat(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert_eq!(stat(&[]).mean, 0.0);
+        assert_eq!(stat(&[5.0]).stddev, 0.0);
+    }
+
+    #[test]
+    fn run_point_small_scale() {
+        let base = ScenarioConfig::small();
+        let r = run_point(&base, 0.2, Strategy::Lvf, 3);
+        assert!(r.total_queries > 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Evidence objects in flight (§II-B).
+//!
+//! An [`EvidenceObject`] is one sampled instance of a catalog object: the
+//! source sensor was activated at `sampled_at` and the measurement stays
+//! valid for `validity`. The (synthetic) payload is represented by its size
+//! only — the protocols depend on transfer cost and on the ground-truth
+//! value at sampling time, not on pixel data.
+
+use dde_logic::label::Label;
+use dde_logic::time::{SimDuration, SimTime};
+use dde_naming::name::Name;
+use dde_netsim::topology::NodeId;
+use dde_workload::catalog::ObjectSpec;
+
+/// A sampled evidence object traveling through the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceObject {
+    /// Content name.
+    pub name: Name,
+    /// Labels this object's evidence can resolve.
+    pub covers: Vec<Label>,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// The node whose sensor produced the sample.
+    pub source: NodeId,
+    /// When the sensor was activated / the measurement taken.
+    pub sampled_at: SimTime,
+    /// How long the measurement stays fresh.
+    pub validity: SimDuration,
+}
+
+impl EvidenceObject {
+    /// Samples a fresh instance of `spec` at `now`.
+    pub fn sample(spec: &ObjectSpec, now: SimTime) -> EvidenceObject {
+        EvidenceObject {
+            name: spec.name.clone(),
+            covers: spec.covers.clone(),
+            size: spec.size,
+            source: spec.source,
+            sampled_at: now,
+            validity: spec.validity,
+        }
+    }
+
+    /// The instant this sample stops being fresh.
+    pub fn expires_at(&self) -> SimTime {
+        self.sampled_at.saturating_add(self.validity)
+    }
+
+    /// Whether the sample is fresh at `now`.
+    pub fn is_fresh_at(&self, now: SimTime) -> bool {
+        now <= self.expires_at()
+    }
+
+    /// Whether this object's evidence can resolve `label`.
+    pub fn covers_label(&self, label: &Label) -> bool {
+        self.covers.iter().any(|l| l == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dde_workload::world::DynamicsClass;
+
+    fn spec() -> ObjectSpec {
+        ObjectSpec {
+            name: "/city/cam/n1/seg".parse().unwrap(),
+            covers: vec![Label::new("viable/a"), Label::new("viable/b")],
+            size: 300_000,
+            source: NodeId(1),
+            class: DynamicsClass::Fast,
+            validity: SimDuration::from_secs(30),
+        }
+    }
+
+    #[test]
+    fn sample_copies_spec_and_stamps_time() {
+        let o = EvidenceObject::sample(&spec(), SimTime::from_secs(5));
+        assert_eq!(o.size, 300_000);
+        assert_eq!(o.sampled_at, SimTime::from_secs(5));
+        assert_eq!(o.expires_at(), SimTime::from_secs(35));
+        assert!(o.is_fresh_at(SimTime::from_secs(35)));
+        assert!(!o.is_fresh_at(SimTime::from_secs(36)));
+    }
+
+    #[test]
+    fn covers_label_checks_list() {
+        let o = EvidenceObject::sample(&spec(), SimTime::ZERO);
+        assert!(o.covers_label(&Label::new("viable/a")));
+        assert!(!o.covers_label(&Label::new("viable/zzz")));
+    }
+}

@@ -1,0 +1,152 @@
+//! Task-criticality policies over the name space (§V-C).
+//!
+//! "Some parts of the name space can be considered more critical than
+//! others. Objects published … in that part of the name space can thus
+//! receive preferential treatment" — exemption from approximate
+//! substitution, and priority for caching and forwarding.
+
+use crate::name::Name;
+use crate::tree::NameTree;
+use core::fmt;
+
+/// Criticality classes, ordered: `Routine < Elevated < Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Criticality {
+    /// Ordinary traffic: full approximation and best-effort handling.
+    #[default]
+    Routine,
+    /// Elevated: preferred for caching/forwarding, approximation allowed.
+    Elevated,
+    /// Critical: exempt from approximate substitution, highest priority.
+    Critical,
+}
+
+impl Criticality {
+    /// Whether approximate name substitution may serve this class.
+    pub fn allows_approximation(self) -> bool {
+        self != Criticality::Critical
+    }
+
+    /// Forwarding/caching priority weight (higher = more preferred).
+    pub fn priority_weight(self) -> u32 {
+        match self {
+            Criticality::Routine => 1,
+            Criticality::Elevated => 4,
+            Criticality::Critical => 16,
+        }
+    }
+}
+
+impl fmt::Display for Criticality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Criticality::Routine => "routine",
+            Criticality::Elevated => "elevated",
+            Criticality::Critical => "critical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maps name-space regions to criticality classes via longest-prefix match.
+///
+/// # Examples
+///
+/// ```
+/// use dde_naming::criticality::{Criticality, CriticalityMap};
+///
+/// let mut map = CriticalityMap::new();
+/// map.assign(&"/city/hospital".parse()?, Criticality::Critical);
+/// assert_eq!(map.classify(&"/city/hospital/cam1".parse()?), Criticality::Critical);
+/// assert_eq!(map.classify(&"/city/park".parse()?), Criticality::Routine);
+/// # Ok::<(), dde_naming::name::NameError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CriticalityMap {
+    prefixes: NameTree<Criticality>,
+}
+
+impl CriticalityMap {
+    /// Creates a map where everything defaults to [`Criticality::Routine`].
+    pub fn new() -> CriticalityMap {
+        CriticalityMap::default()
+    }
+
+    /// Assigns `class` to the name-space region under `prefix`. Returns the
+    /// previous class assigned to that exact prefix.
+    pub fn assign(&mut self, prefix: &Name, class: Criticality) -> Option<Criticality> {
+        self.prefixes.insert(prefix, class)
+    }
+
+    /// The class of `name`: the longest matching assigned prefix, else
+    /// `Routine`.
+    pub fn classify(&self, name: &Name) -> Criticality {
+        self.prefixes
+            .longest_prefix(name)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+
+    /// Number of assigned prefixes.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether any prefixes are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ordering_and_weights() {
+        assert!(Criticality::Routine < Criticality::Critical);
+        assert!(Criticality::Elevated.priority_weight() > Criticality::Routine.priority_weight());
+        assert!(Criticality::Critical.priority_weight() > Criticality::Elevated.priority_weight());
+        assert_eq!(Criticality::Critical.to_string(), "critical");
+    }
+
+    #[test]
+    fn approximation_exemption() {
+        assert!(Criticality::Routine.allows_approximation());
+        assert!(Criticality::Elevated.allows_approximation());
+        assert!(!Criticality::Critical.allows_approximation());
+    }
+
+    #[test]
+    fn nested_prefixes_use_longest_match() {
+        let mut map = CriticalityMap::new();
+        map.assign(&n("/city"), Criticality::Elevated);
+        map.assign(&n("/city/hospital"), Criticality::Critical);
+        assert_eq!(map.classify(&n("/city/hospital/icu")), Criticality::Critical);
+        assert_eq!(map.classify(&n("/city/park")), Criticality::Elevated);
+        assert_eq!(map.classify(&n("/rural")), Criticality::Routine);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn reassignment_returns_previous() {
+        let mut map = CriticalityMap::new();
+        assert_eq!(map.assign(&n("/a"), Criticality::Critical), None);
+        assert_eq!(
+            map.assign(&n("/a"), Criticality::Routine),
+            Some(Criticality::Critical)
+        );
+        assert_eq!(map.classify(&n("/a/b")), Criticality::Routine);
+    }
+
+    #[test]
+    fn default_is_routine() {
+        let map = CriticalityMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.classify(&n("/anything")), Criticality::Routine);
+    }
+}

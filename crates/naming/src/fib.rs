@@ -1,0 +1,265 @@
+//! Forwarding Information Base and Pending Interest Table (§V-A, §VI-B).
+//!
+//! "Routing tables directly store information on how to route interests to
+//! nodes who previously advertized having data matching a name prefix" —
+//! the [`Fib`]. "Each node maintains an *Interest Table* that keeps track of
+//! which data objects have been requested by which sources for what
+//! queries" — the [`Pit`], which also suppresses duplicate downstream
+//! requests.
+
+use crate::name::Name;
+use crate::tree::NameTree;
+use dde_logic::time::SimTime;
+use std::collections::BTreeSet;
+
+/// Forwarding Information Base: name prefixes → next-hop node ids.
+///
+/// Generic over the node-id type so the networking layer can plug its own.
+#[derive(Debug, Clone, Default)]
+pub struct Fib<N> {
+    routes: NameTree<N>,
+}
+
+impl<N: Copy> Fib<N> {
+    /// Creates an empty FIB.
+    pub fn new() -> Fib<N> {
+        Fib {
+            routes: NameTree::new(),
+        }
+    }
+
+    /// Advertises that content under `prefix` is reachable via `next_hop`.
+    /// Returns the previous next hop for that exact prefix, if any.
+    pub fn advertise(&mut self, prefix: &Name, next_hop: N) -> Option<N> {
+        self.routes.insert(prefix, next_hop)
+    }
+
+    /// Withdraws the route for exactly `prefix`.
+    pub fn withdraw(&mut self, prefix: &Name) -> Option<N> {
+        self.routes.remove(prefix)
+    }
+
+    /// Longest-prefix-match lookup: the next hop for `name`.
+    pub fn lookup(&self, name: &Name) -> Option<N> {
+        self.routes.longest_prefix(name).map(|(_, n)| *n)
+    }
+
+    /// Number of advertised prefixes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether no prefixes are advertised.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// One pending-interest record: who asked for an object, for which query.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Interest<N, Q> {
+    /// The neighbor (or local marker) that asked.
+    pub requester: N,
+    /// The query on whose behalf the request was made.
+    pub query: Q,
+    /// When the interest lapses.
+    pub expires_at: SimTime,
+}
+
+/// Pending Interest Table: object name → set of interests.
+#[derive(Debug, Clone)]
+pub struct Pit<N, Q> {
+    entries: NameTree<BTreeSet<Interest<N, Q>>>,
+    len: usize,
+}
+
+impl<N, Q> Default for Pit<N, Q> {
+    fn default() -> Self {
+        Pit {
+            entries: NameTree::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<N, Q> Pit<N, Q>
+where
+    N: Ord + Clone,
+    Q: Ord + Clone,
+{
+    /// Creates an empty PIT.
+    pub fn new() -> Pit<N, Q> {
+        Pit::default()
+    }
+
+    /// Records an interest in `name`. Returns `true` if this is the *first*
+    /// pending interest for the name — i.e. the request should be forwarded
+    /// downstream; further interests are aggregated ("avoid passing along
+    /// unnecessary duplicate data object requests", §VI-B).
+    pub fn register(
+        &mut self,
+        name: &Name,
+        requester: N,
+        query: Q,
+        expires_at: SimTime,
+    ) -> bool {
+        let interest = Interest {
+            requester,
+            query,
+            expires_at,
+        };
+        match self.entries.get_mut(name) {
+            Some(set) => {
+                if set.insert(interest) {
+                    self.len += 1;
+                }
+                false
+            }
+            None => {
+                let mut set = BTreeSet::new();
+                set.insert(interest);
+                self.entries.insert(name, set);
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Consumes and returns all interests pending on exactly `name`
+    /// (typically upon data arrival, to fan the object back out).
+    pub fn take(&mut self, name: &Name) -> Vec<Interest<N, Q>> {
+        match self.entries.remove(name) {
+            Some(set) => {
+                self.len -= set.len();
+                set.into_iter().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Interests pending on exactly `name`, without consuming them.
+    pub fn peek(&self, name: &Name) -> impl Iterator<Item = &Interest<N, Q>> {
+        self.entries.get(name).into_iter().flatten()
+    }
+
+    /// Whether any interest is pending on exactly `name`.
+    pub fn has_pending(&self, name: &Name) -> bool {
+        self.entries.get(name).is_some_and(|s| !s.is_empty())
+    }
+
+    /// Drops interests that have lapsed by `now`; returns how many were
+    /// dropped.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let names: Vec<Name> = self.entries.iter().map(|(n, _)| n).collect();
+        let mut dropped = 0;
+        for name in names {
+            let mut empty = false;
+            if let Some(set) = self.entries.get_mut(&name) {
+                let before = set.len();
+                set.retain(|i| i.expires_at >= now);
+                dropped += before - set.len();
+                self.len -= before - set.len();
+                empty = set.is_empty();
+            }
+            if empty {
+                self.entries.remove(&name);
+            }
+        }
+        dropped
+    }
+
+    /// Total number of pending interests (across all names).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fib_longest_prefix_routing() {
+        let mut fib: Fib<u32> = Fib::new();
+        assert!(fib.is_empty());
+        fib.advertise(&n("/city"), 1);
+        fib.advertise(&n("/city/market"), 2);
+        assert_eq!(fib.lookup(&n("/city/market/cam1")), Some(2));
+        assert_eq!(fib.lookup(&n("/city/port")), Some(1));
+        assert_eq!(fib.lookup(&n("/rural")), None);
+        assert_eq!(fib.len(), 2);
+        assert_eq!(fib.withdraw(&n("/city/market")), Some(2));
+        assert_eq!(fib.lookup(&n("/city/market/cam1")), Some(1));
+    }
+
+    #[test]
+    fn fib_advertise_replaces() {
+        let mut fib: Fib<u32> = Fib::new();
+        assert_eq!(fib.advertise(&n("/a"), 1), None);
+        assert_eq!(fib.advertise(&n("/a"), 9), Some(1));
+        assert_eq!(fib.lookup(&n("/a")), Some(9));
+    }
+
+    #[test]
+    fn pit_aggregates_duplicates() {
+        let mut pit: Pit<u32, u32> = Pit::new();
+        // First interest → forward.
+        assert!(pit.register(&n("/obj"), 1, 100, t(10)));
+        // Second requester → aggregate, don't forward.
+        assert!(!pit.register(&n("/obj"), 2, 100, t(10)));
+        // Same requester, same query, later expiry → new record, no forward.
+        assert!(!pit.register(&n("/obj"), 1, 100, t(20)));
+        assert_eq!(pit.len(), 3);
+        assert!(pit.has_pending(&n("/obj")));
+        assert!(!pit.has_pending(&n("/other")));
+    }
+
+    #[test]
+    fn pit_take_consumes_all() {
+        let mut pit: Pit<u32, u32> = Pit::new();
+        pit.register(&n("/obj"), 1, 100, t(10));
+        pit.register(&n("/obj"), 2, 101, t(10));
+        let interests = pit.take(&n("/obj"));
+        assert_eq!(interests.len(), 2);
+        assert!(pit.is_empty());
+        assert!(pit.take(&n("/obj")).is_empty());
+        // Registering again counts as first once more.
+        assert!(pit.register(&n("/obj"), 3, 102, t(20)));
+    }
+
+    #[test]
+    fn pit_expire_drops_lapsed() {
+        let mut pit: Pit<u32, u32> = Pit::new();
+        pit.register(&n("/a"), 1, 1, t(5));
+        pit.register(&n("/a"), 2, 2, t(50));
+        pit.register(&n("/b"), 3, 3, t(5));
+        assert_eq!(pit.expire(t(10)), 2);
+        assert_eq!(pit.len(), 1);
+        assert!(pit.has_pending(&n("/a")));
+        assert!(!pit.has_pending(&n("/b")));
+        // Expired names with no residue are removed entirely; registering /b
+        // again forwards.
+        assert!(pit.register(&n("/b"), 4, 4, t(60)));
+    }
+
+    #[test]
+    fn pit_peek_does_not_consume() {
+        let mut pit: Pit<u32, u32> = Pit::new();
+        pit.register(&n("/a"), 1, 7, t(5));
+        assert_eq!(pit.peek(&n("/a")).count(), 1);
+        assert_eq!(pit.len(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dde-naming — hierarchical semantic naming and indexing
+//!
+//! The networking substrate of §V of the paper: content, labels, and
+//! annotators all live in one hierarchical name space; names encode
+//! semantics, so shared-prefix length proxies information similarity.
+//!
+//! - [`name`] — path-like content names with shared-prefix similarity;
+//! - [`tree`] — a name trie with exact, longest-prefix (FIB-style), and
+//!   approximate (closest-name) lookup — the "hierarchical semantic
+//!   indexing" of §V-A;
+//! - [`fib`] — the Forwarding Information Base and Pending Interest Table of
+//!   the NDN-like forwarding plane (§VI-B);
+//! - [`store`] — a freshness-aware, capacity-bounded content store with
+//!   expired-first/LRU eviction and approximate substitution (§VI-B/C);
+//! - [`utility`] — sub-additive information utility and greedy budgeted
+//!   triage for overload (§V-B);
+//! - [`criticality`] — preferential treatment for critical name-space
+//!   regions (§V-C).
+
+#![warn(missing_docs)]
+
+pub mod criticality;
+pub mod fib;
+pub mod name;
+pub mod store;
+pub mod tree;
+pub mod utility;
+
+pub use criticality::{Criticality, CriticalityMap};
+pub use fib::{Fib, Interest, Pit};
+pub use name::{Name, NameError};
+pub use store::{ContentStore, StoredObject};
+pub use tree::NameTree;
+pub use utility::{greedy_select, marginal_utility, total_utility, UtilityItem};
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::criticality::{Criticality, CriticalityMap};
+    pub use crate::fib::{Fib, Interest, Pit};
+    pub use crate::name::{Name, NameError};
+    pub use crate::store::{ContentStore, StoredObject};
+    pub use crate::tree::NameTree;
+    pub use crate::utility::{greedy_select, total_utility, UtilityItem};
+}

@@ -1,0 +1,324 @@
+//! Hierarchical content names (§V-A).
+//!
+//! "In designing hierarchical name spaces (where names are like UNIX paths),
+//! of specific interest is to develop naming schemes where more similar
+//! objects have names that share longer prefixes." A [`Name`] is a sequence
+//! of path components, e.g. `/city/marketplace/south/noon/camera1`.
+
+use core::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// A hierarchical content name.
+///
+/// # Examples
+///
+/// ```
+/// use dde_naming::name::Name;
+///
+/// let a: Name = "/city/marketplace/south/noon/camera1".parse()?;
+/// let b: Name = "/city/marketplace/south/noon/camera2".parse()?;
+/// assert_eq!(a.shared_prefix_len(&b), 4);
+/// assert!(a.starts_with(&"/city/marketplace".parse()?));
+/// # Ok::<(), dde_naming::name::NameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Name {
+    components: Arc<[String]>,
+}
+
+impl Name {
+    /// The root name `/` (zero components).
+    pub fn root() -> Name {
+        Name::default()
+    }
+
+    /// Builds a name from components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is empty or contains `/`.
+    pub fn from_components<I, S>(components: I) -> Name
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let components: Vec<String> = components.into_iter().map(Into::into).collect();
+        for c in &components {
+            assert!(
+                !c.is_empty() && !c.contains('/'),
+                "invalid name component: {c:?}"
+            );
+        }
+        Name {
+            components: components.into(),
+        }
+    }
+
+    /// The components, in order.
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Number of leading components shared with `other` — the paper's
+    /// similarity measure: "distances between them, such as the length of
+    /// the shared name prefix".
+    pub fn shared_prefix_len(&self, other: &Name) -> usize {
+        self.components
+            .iter()
+            .zip(other.components.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Shared-prefix similarity normalized to `[0, 1]`:
+    /// `shared / max(len_a, len_b)`. Two identical names score 1; disjoint
+    /// names score 0. The root is similar to nothing (score 0) except
+    /// itself (scored 1 by convention).
+    pub fn similarity(&self, other: &Name) -> f64 {
+        let denom = self.len().max(other.len());
+        if denom == 0 {
+            return 1.0;
+        }
+        self.shared_prefix_len(other) as f64 / denom as f64
+    }
+
+    /// Whether `prefix` is a (non-strict) prefix of this name.
+    pub fn starts_with(&self, prefix: &Name) -> bool {
+        prefix.len() <= self.len()
+            && self.components[..prefix.len()] == prefix.components[..]
+    }
+
+    /// The name extended by one component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `component` is empty or contains `/`.
+    #[must_use]
+    pub fn child(&self, component: impl Into<String>) -> Name {
+        let component = component.into();
+        assert!(
+            !component.is_empty() && !component.contains('/'),
+            "invalid name component: {component:?}"
+        );
+        let mut v: Vec<String> = self.components.to_vec();
+        v.push(component);
+        Name {
+            components: v.into(),
+        }
+    }
+
+    /// The parent name, or `None` at the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(Name {
+            components: self.components[..self.len() - 1].to_vec().into(),
+        })
+    }
+
+    /// The first `n` components as a name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> Name {
+        assert!(n <= self.len(), "prefix length out of range");
+        Name {
+            components: self.components[..n].to_vec().into(),
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "/");
+        }
+        for c in self.components.iter() {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing a [`Name`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid name: {}", self.message)
+    }
+}
+
+impl std::error::Error for NameError {}
+
+impl FromStr for Name {
+    type Err = NameError;
+
+    /// Parses `/a/b/c` (leading slash required; `/` alone is the root;
+    /// trailing slash tolerated).
+    fn from_str(s: &str) -> Result<Name, NameError> {
+        let Some(rest) = s.strip_prefix('/') else {
+            return Err(NameError {
+                message: format!("must start with '/': {s:?}"),
+            });
+        };
+        let rest = rest.strip_suffix('/').unwrap_or(rest);
+        if rest.is_empty() {
+            return Ok(Name::root());
+        }
+        let components: Vec<String> = rest.split('/').map(str::to_string).collect();
+        if components.iter().any(String::is_empty) {
+            return Err(NameError {
+                message: format!("empty component in {s:?}"),
+            });
+        }
+        Ok(Name {
+            components: components.into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["/", "/a", "/city/market/south", "/a/b/c/d/e"] {
+            let name = n(s);
+            assert_eq!(name.to_string(), s);
+            assert_eq!(name.to_string().parse::<Name>().unwrap(), name);
+        }
+        // Trailing slash tolerated on parse, normalized on display.
+        assert_eq!(n("/a/b/"), n("/a/b"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("a/b".parse::<Name>().is_err());
+        assert!("".parse::<Name>().is_err());
+        assert!("/a//b".parse::<Name>().is_err());
+        let e = "x".parse::<Name>().unwrap_err();
+        assert!(e.to_string().contains("must start"));
+    }
+
+    #[test]
+    fn shared_prefix_examples() {
+        // The paper's camera substitution example.
+        let c1 = n("/city/marketplace/south/noon/camera1");
+        let c2 = n("/city/marketplace/south/noon/camera2");
+        let north = n("/city/marketplace/north/noon/camera1");
+        assert_eq!(c1.shared_prefix_len(&c2), 4);
+        assert_eq!(c1.shared_prefix_len(&north), 2);
+        assert_eq!(c1.shared_prefix_len(&c1), 5);
+        assert_eq!(c1.shared_prefix_len(&Name::root()), 0);
+    }
+
+    #[test]
+    fn similarity_normalized() {
+        let c1 = n("/a/b/c/d");
+        let c2 = n("/a/b/x/y");
+        assert!((c1.similarity(&c2) - 0.5).abs() < 1e-12);
+        assert_eq!(c1.similarity(&c1), 1.0);
+        assert_eq!(Name::root().similarity(&Name::root()), 1.0);
+        assert_eq!(c1.similarity(&Name::root()), 0.0);
+    }
+
+    #[test]
+    fn starts_with_and_prefix() {
+        let full = n("/a/b/c");
+        assert!(full.starts_with(&n("/a")));
+        assert!(full.starts_with(&n("/a/b/c")));
+        assert!(full.starts_with(&Name::root()));
+        assert!(!full.starts_with(&n("/a/x")));
+        assert!(!n("/a").starts_with(&full));
+        assert_eq!(full.prefix(2), n("/a/b"));
+        assert_eq!(full.prefix(0), Name::root());
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let base = n("/city");
+        let cam = base.child("cam1");
+        assert_eq!(cam, n("/city/cam1"));
+        assert_eq!(cam.parent().unwrap(), base);
+        assert_eq!(base.parent().unwrap(), Name::root());
+        assert!(Name::root().parent().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid name component")]
+    fn child_rejects_slash() {
+        let _ = Name::root().child("a/b");
+    }
+
+    #[test]
+    fn from_components() {
+        let name = Name::from_components(["a", "b"]);
+        assert_eq!(name, n("/a/b"));
+        assert_eq!(name.components(), &["a".to_string(), "b".to_string()]);
+    }
+
+    proptest! {
+        /// similarity is symmetric and bounded.
+        #[test]
+        fn similarity_symmetric(
+            a in prop::collection::vec("[a-c]{1,2}", 0..5),
+            b in prop::collection::vec("[a-c]{1,2}", 0..5),
+        ) {
+            let na = Name::from_components(a);
+            let nb = Name::from_components(b);
+            prop_assert!((na.similarity(&nb) - nb.similarity(&na)).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&na.similarity(&nb)));
+        }
+
+        /// Parsing the display form is the identity.
+        #[test]
+        fn display_parse_identity(a in prop::collection::vec("[a-z0-9_.-]{1,6}", 0..6)) {
+            let name = Name::from_components(a);
+            prop_assert_eq!(name.to_string().parse::<Name>().unwrap(), name);
+        }
+
+        /// shared_prefix_len is a valid ultrametric-ish similarity:
+        /// sim(a,c) >= min(sim(a,b), sim(b,c)) in prefix length terms.
+        #[test]
+        fn prefix_ultrametric(
+            a in prop::collection::vec("[ab]{1}", 0..5),
+            b in prop::collection::vec("[ab]{1}", 0..5),
+            c in prop::collection::vec("[ab]{1}", 0..5),
+        ) {
+            let (na, nb, nc) = (
+                Name::from_components(a),
+                Name::from_components(b),
+                Name::from_components(c),
+            );
+            let ab = na.shared_prefix_len(&nb);
+            let bc = nb.shared_prefix_len(&nc);
+            let ac = na.shared_prefix_len(&nc);
+            prop_assert!(ac >= ab.min(bc));
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! A name trie supporting exact, longest-prefix, and approximate lookup.
+//!
+//! This is the "hierarchical semantic indexing" structure of §V-A: routers
+//! and caches index content by name; when an exact match is unavailable,
+//! "the network may automatically substitute it with, say,
+//! `/city/marketplace/south/noon/camera2`" — the entry sharing the longest
+//! prefix with the request.
+
+use crate::name::Name;
+use std::collections::BTreeMap;
+
+/// A trie mapping [`Name`]s to values.
+#[derive(Debug, Clone)]
+pub struct NameTree<T> {
+    root: TrieNode<T>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct TrieNode<T> {
+    value: Option<T>,
+    children: BTreeMap<String, TrieNode<T>>,
+}
+
+impl<T> Default for TrieNode<T> {
+    fn default() -> Self {
+        TrieNode {
+            value: None,
+            children: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T> Default for NameTree<T> {
+    fn default() -> Self {
+        NameTree {
+            root: TrieNode::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> NameTree<T> {
+    /// Creates an empty tree.
+    pub fn new() -> NameTree<T> {
+        NameTree::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `name`, returning the previous value if any.
+    pub fn insert(&mut self, name: &Name, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for c in name.components() {
+            node = node.children.entry(c.clone()).or_default();
+        }
+        let prev = node.value.replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the value at exactly `name`.
+    pub fn remove(&mut self, name: &Name) -> Option<T> {
+        fn go<T>(node: &mut TrieNode<T>, comps: &[String]) -> (Option<T>, bool) {
+            match comps.split_first() {
+                None => {
+                    let v = node.value.take();
+                    let prunable = node.children.is_empty();
+                    (v, prunable)
+                }
+                Some((head, rest)) => {
+                    let Some(child) = node.children.get_mut(head) else {
+                        return (None, false);
+                    };
+                    let (v, prune_child) = go(child, rest);
+                    if prune_child && child.value.is_none() {
+                        node.children.remove(head);
+                    }
+                    (v, node.children.is_empty() && node.value.is_none())
+                }
+            }
+        }
+        let (v, _) = go(&mut self.root, name.components());
+        if v.is_some() {
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// The value stored at exactly `name`.
+    pub fn get(&self, name: &Name) -> Option<&T> {
+        let mut node = &self.root;
+        for c in name.components() {
+            node = node.children.get(c)?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Mutable access to the value stored at exactly `name`.
+    pub fn get_mut(&mut self, name: &Name) -> Option<&mut T> {
+        let mut node = &mut self.root;
+        for c in name.components() {
+            node = node.children.get_mut(c)?;
+        }
+        node.value.as_mut()
+    }
+
+    /// The entry whose name is the longest stored *prefix* of `name`
+    /// (NDN-style FIB lookup). Returns `(prefix, value)`.
+    pub fn longest_prefix(&self, name: &Name) -> Option<(Name, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(usize, &T)> = node.value.as_ref().map(|v| (0, v));
+        for (depth, c) in name.components().iter().enumerate() {
+            match node.children.get(c) {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = &node.value {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(depth, v)| (name.prefix(depth), v))
+    }
+
+    /// Iterates over all entries under `prefix` (inclusive), in name order.
+    pub fn iter_prefix<'a>(
+        &'a self,
+        prefix: &Name,
+    ) -> Box<dyn Iterator<Item = (Name, &'a T)> + 'a> {
+        let mut node = &self.root;
+        for c in prefix.components() {
+            match node.children.get(c) {
+                Some(child) => node = child,
+                None => return Box::new(std::iter::empty()),
+            }
+        }
+        let mut out: Vec<(Name, &T)> = Vec::new();
+        collect(node, prefix.clone(), &mut out);
+        Box::new(out.into_iter())
+    }
+
+    /// Iterates over all entries, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (Name, &T)> + '_ {
+        self.iter_prefix(&Name::root())
+    }
+
+    /// Approximate lookup (§V-A): the stored entry sharing the longest name
+    /// prefix with `name`, requiring at least `min_shared` shared leading
+    /// components. Among equally-similar entries the name-order-first wins
+    /// (deterministic). An exact match trivially wins.
+    ///
+    /// Returns `(stored name, shared prefix length, value)`.
+    pub fn closest(&self, name: &Name, min_shared: usize) -> Option<(Name, usize, &T)> {
+        // Descend as deep as the trie matches `name`, remembering the
+        // deepest matching node; any stored entry below that node shares
+        // exactly that many leading components (or more if on the path).
+        let mut node = &self.root;
+        let mut depth = 0;
+        let mut path_nodes: Vec<&TrieNode<T>> = vec![node];
+        for c in name.components() {
+            match node.children.get(c) {
+                Some(child) => {
+                    node = child;
+                    depth += 1;
+                    path_nodes.push(node);
+                }
+                None => break,
+            }
+        }
+        // Walk back from the deepest matched node; the first node with any
+        // stored descendant yields the best shared-prefix length.
+        for d in (0..=depth).rev() {
+            if d < min_shared {
+                break;
+            }
+            let candidate_root = path_nodes[d];
+            // Prefer an exact-path value at depth d... any entry under this
+            // subtree shares >= d components; entries deeper on the matched
+            // path were already considered at larger d.
+            let mut out: Vec<(Name, &T)> = Vec::new();
+            collect(candidate_root, name.prefix(d), &mut out);
+            if let Some((stored, v)) = out.into_iter().next() {
+                let shared = stored.shared_prefix_len(name);
+                return Some((stored, shared, v));
+            }
+        }
+        None
+    }
+}
+
+fn collect<'a, T>(node: &'a TrieNode<T>, name: Name, out: &mut Vec<(Name, &'a T)>) {
+    if let Some(v) = &node.value {
+        out.push((name.clone(), v));
+    }
+    for (comp, child) in &node.children {
+        collect(child, name.child(comp.clone()), out);
+    }
+}
+
+impl<T> FromIterator<(Name, T)> for NameTree<T> {
+    fn from_iter<I: IntoIterator<Item = (Name, T)>>(iter: I) -> Self {
+        let mut t = NameTree::new();
+        for (n, v) in iter {
+            t.insert(&n, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = NameTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(&n("/a/b"), 1), None);
+        assert_eq!(t.insert(&n("/a/b"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&n("/a/b")), Some(&2));
+        assert_eq!(t.get(&n("/a")), None);
+        *t.get_mut(&n("/a/b")).unwrap() = 7;
+        assert_eq!(t.remove(&n("/a/b")), Some(7));
+        assert_eq!(t.remove(&n("/a/b")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_prunes_empty_branches() {
+        let mut t = NameTree::new();
+        t.insert(&n("/a/b/c"), 1);
+        t.insert(&n("/a"), 2);
+        t.remove(&n("/a/b/c"));
+        // /a must survive.
+        assert_eq!(t.get(&n("/a")), Some(&2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn longest_prefix_matching() {
+        let mut t = NameTree::new();
+        t.insert(&n("/city"), "coarse");
+        t.insert(&n("/city/market/south"), "fine");
+        let (p, v) = t.longest_prefix(&n("/city/market/south/noon/cam1")).unwrap();
+        assert_eq!(p, n("/city/market/south"));
+        assert_eq!(*v, "fine");
+        let (p, v) = t.longest_prefix(&n("/city/port")).unwrap();
+        assert_eq!(p, n("/city"));
+        assert_eq!(*v, "coarse");
+        assert!(t.longest_prefix(&n("/rural")).is_none());
+    }
+
+    #[test]
+    fn root_entry_matches_everything() {
+        let mut t = NameTree::new();
+        t.insert(&Name::root(), "default");
+        let (p, v) = t.longest_prefix(&n("/x/y")).unwrap();
+        assert_eq!(p, Name::root());
+        assert_eq!(*v, "default");
+    }
+
+    #[test]
+    fn iter_prefix_scopes() {
+        let t: NameTree<i32> = [
+            (n("/a/x"), 1),
+            (n("/a/y"), 2),
+            (n("/b/z"), 3),
+        ]
+        .into_iter()
+        .collect();
+        let under_a: Vec<_> = t.iter_prefix(&n("/a")).map(|(name, _)| name).collect();
+        assert_eq!(under_a, vec![n("/a/x"), n("/a/y")]);
+        assert_eq!(t.iter().count(), 3);
+        assert_eq!(t.iter_prefix(&n("/zzz")).count(), 0);
+    }
+
+    #[test]
+    fn closest_substitutes_sibling_camera() {
+        // The paper's example: camera1 unavailable, substitute camera2.
+        let mut t = NameTree::new();
+        t.insert(&n("/city/marketplace/south/noon/camera2"), "view2");
+        t.insert(&n("/city/harbor/cam"), "harbor");
+        let (stored, shared, v) = t
+            .closest(&n("/city/marketplace/south/noon/camera1"), 2)
+            .unwrap();
+        assert_eq!(stored, n("/city/marketplace/south/noon/camera2"));
+        assert_eq!(shared, 4);
+        assert_eq!(*v, "view2");
+    }
+
+    #[test]
+    fn closest_respects_min_shared() {
+        let mut t = NameTree::new();
+        t.insert(&n("/city/harbor/cam"), "harbor");
+        // Only 1 shared component; require 2 → no substitution.
+        assert!(t.closest(&n("/city/market/cam"), 2).is_none());
+        assert!(t.closest(&n("/city/market/cam"), 1).is_some());
+    }
+
+    #[test]
+    fn closest_prefers_exact() {
+        let mut t = NameTree::new();
+        t.insert(&n("/a/b"), 1);
+        t.insert(&n("/a/b/c"), 2);
+        let (stored, shared, v) = t.closest(&n("/a/b"), 0).unwrap();
+        assert_eq!(stored, n("/a/b"));
+        assert_eq!(shared, 2);
+        assert_eq!(*v, 1);
+    }
+
+    #[test]
+    fn closest_on_empty_tree() {
+        let t: NameTree<i32> = NameTree::new();
+        assert!(t.closest(&n("/a"), 0).is_none());
+    }
+
+    proptest! {
+        /// closest() returns the entry maximizing shared prefix length.
+        #[test]
+        fn closest_maximizes_shared_prefix(
+            entries in prop::collection::btree_set(
+                prop::collection::vec("[ab]{1}", 1..5), 1..10),
+            probe in prop::collection::vec("[ab]{1}", 1..5),
+        ) {
+            let tree: NameTree<usize> = entries.iter().enumerate()
+                .map(|(i, comps)| (Name::from_components(comps.clone()), i))
+                .collect();
+            let probe = Name::from_components(probe);
+            let (stored, shared, _) = tree.closest(&probe, 0).unwrap();
+            prop_assert_eq!(stored.shared_prefix_len(&probe), shared);
+            for (name, _) in tree.iter() {
+                prop_assert!(name.shared_prefix_len(&probe) <= shared,
+                    "{} shares more with {} than chosen {}", name, probe, stored);
+            }
+        }
+
+        /// Insert/remove round-trips keep len() consistent with iter().
+        #[test]
+        fn len_matches_iter(
+            names in prop::collection::vec(
+                prop::collection::vec("[abc]{1}", 0..4), 0..12),
+        ) {
+            let mut t = NameTree::new();
+            for (i, comps) in names.iter().enumerate() {
+                t.insert(&Name::from_components(comps.clone()), i);
+            }
+            prop_assert_eq!(t.len(), t.iter().count());
+            // Remove half.
+            for comps in names.iter().step_by(2) {
+                t.remove(&Name::from_components(comps.clone()));
+            }
+            prop_assert_eq!(t.len(), t.iter().count());
+        }
+    }
+}

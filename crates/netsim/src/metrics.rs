@@ -1,0 +1,119 @@
+//! Traffic accounting for simulation runs.
+//!
+//! Fig. 3 of the paper compares *total network bandwidth consumption* across
+//! retrieval schemes; these counters are the measurement instrument. Bytes
+//! are counted per directed link and per message kind at transmission time
+//! (lost messages still consume the medium, as on a radio).
+
+use crate::topology::NodeId;
+use std::collections::BTreeMap;
+
+/// Aggregated traffic counters for a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Messages handed to the medium.
+    pub messages_sent: u64,
+    /// Messages delivered to a protocol handler.
+    pub messages_delivered: u64,
+    /// Messages lost in transit (link loss).
+    pub messages_lost: u64,
+    /// Messages dropped because the destination node was down.
+    pub messages_dropped: u64,
+    /// Total bytes clocked onto all links.
+    pub bytes_sent: u64,
+    per_link: BTreeMap<(NodeId, NodeId), u64>,
+    per_kind: BTreeMap<&'static str, KindCounters>,
+}
+
+/// Per-message-kind counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounters {
+    /// Messages of this kind sent.
+    pub count: u64,
+    /// Bytes of this kind sent.
+    pub bytes: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records a transmission of `bytes` from `from` to `to` tagged `kind`.
+    pub fn record_send(&mut self, from: NodeId, to: NodeId, bytes: u64, kind: &'static str) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes;
+        *self.per_link.entry((from, to)).or_insert(0) += bytes;
+        let k = self.per_kind.entry(kind).or_default();
+        k.count += 1;
+        k.bytes += bytes;
+    }
+
+    /// Bytes sent over the directed link `from → to`.
+    pub fn link_bytes(&self, from: NodeId, to: NodeId) -> u64 {
+        self.per_link.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Counters for a message kind.
+    pub fn kind(&self, kind: &str) -> KindCounters {
+        self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(kind, counters)` pairs in kind order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, KindCounters)> + '_ {
+        self.per_kind.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates over per-directed-link byte counts.
+    pub fn links(&self) -> impl Iterator<Item = ((NodeId, NodeId), u64)> + '_ {
+        self.per_link.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// The busiest directed link and its byte count, if any traffic flowed.
+    pub fn hottest_link(&self) -> Option<((NodeId, NodeId), u64)> {
+        self.per_link
+            .iter()
+            .max_by_key(|(_, &b)| b)
+            .map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut m = Metrics::new();
+        m.record_send(NodeId(0), NodeId(1), 100, "data");
+        m.record_send(NodeId(0), NodeId(1), 50, "data");
+        m.record_send(NodeId(1), NodeId(2), 10, "request");
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.bytes_sent, 160);
+        assert_eq!(m.link_bytes(NodeId(0), NodeId(1)), 150);
+        assert_eq!(m.link_bytes(NodeId(1), NodeId(0)), 0);
+        assert_eq!(m.kind("data").count, 2);
+        assert_eq!(m.kind("data").bytes, 150);
+        assert_eq!(m.kind("nonexistent"), KindCounters::default());
+    }
+
+    #[test]
+    fn hottest_link() {
+        let mut m = Metrics::new();
+        assert!(m.hottest_link().is_none());
+        m.record_send(NodeId(0), NodeId(1), 10, "a");
+        m.record_send(NodeId(2), NodeId(3), 99, "a");
+        assert_eq!(m.hottest_link(), Some(((NodeId(2), NodeId(3)), 99)));
+    }
+
+    #[test]
+    fn aggregates_sum_per_kind() {
+        let mut m = Metrics::new();
+        m.record_send(NodeId(0), NodeId(1), 5, "x");
+        m.record_send(NodeId(1), NodeId(0), 7, "y");
+        let total: u64 = m.kinds().map(|(_, c)| c.bytes).sum();
+        assert_eq!(total, m.bytes_sent);
+        assert_eq!(m.links().count(), 2);
+    }
+}

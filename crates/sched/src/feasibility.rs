@@ -1,0 +1,187 @@
+//! Feasibility analysis of retrieval schedules (§IV-A).
+//!
+//! A retrieval order for a single decision query is *feasible* when
+//!
+//! - **data freshness**: `t_i + I_i ≥ F` for every object `i`, where `t_i` is
+//!   the instant object `i`'s sensor is activated/sampled (the start of its
+//!   retrieval) and `F` is the decision time (retrieval finish), and
+//! - **decision deadline**: `t + D ≥ F` for query arrival `t` and relative
+//!   deadline `D`.
+//!
+//! Meeting the freshness constraint for every object means each sensor is
+//! sampled exactly once, so the schedule achieves the optimal cost
+//! `Cost_opt = Σ C_i` (Eq. 1 of the paper).
+
+use crate::item::{Channel, RetrievalItem};
+use dde_logic::time::{SimDuration, SimTime};
+
+/// The computed timeline of one retrieval order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleAnalysis {
+    /// Sensor-activation (= retrieval-start) time of each item, in schedule
+    /// order.
+    pub activations: Vec<SimTime>,
+    /// The decision time `F`: when the last retrieval completes.
+    pub finish: SimTime,
+    /// Indices (into the schedule order) of items whose freshness constraint
+    /// `t_i + I_i ≥ F` is violated.
+    pub freshness_violations: Vec<usize>,
+    /// Whether the decision deadline is met.
+    pub deadline_met: bool,
+    // Earliest binding limit: min(min_i t_i + I_i, t + D). Stored to expose
+    // slack without recomputation.
+    pub(crate) limit: SimTime,
+}
+
+impl ScheduleAnalysis {
+    /// Whether both constraint families hold.
+    pub fn is_feasible(&self) -> bool {
+        self.deadline_met && self.freshness_violations.is_empty()
+    }
+
+    /// The schedule's *slack*: how much later the decision could finish and
+    /// still satisfy every constraint. Zero-or-positive iff feasible.
+    pub fn slack(&self) -> Option<SimDuration> {
+        if !self.is_feasible() {
+            return None;
+        }
+        Some(self.limit.saturating_since(self.finish))
+    }
+}
+
+/// Analyzes the retrieval `order` for a query arriving at `arrival` with
+/// relative deadline `deadline`, over `channel`.
+///
+/// Items are retrieved back-to-back starting at `arrival`; each item's
+/// sensor is activated when its retrieval starts (the earliest-information
+/// policy — sampling any earlier only makes data staler at decision time,
+/// sampling later is impossible since the sample must traverse the channel).
+pub fn analyze(
+    order: &[RetrievalItem],
+    channel: Channel,
+    arrival: SimTime,
+    deadline: SimDuration,
+) -> ScheduleAnalysis {
+    let mut activations = Vec::with_capacity(order.len());
+    let mut cursor = arrival;
+    for item in order {
+        activations.push(cursor);
+        cursor += channel.transmission_time(item.cost);
+    }
+    let finish = cursor;
+    let mut limit = arrival + deadline;
+    let mut freshness_violations = Vec::new();
+    for (i, item) in order.iter().enumerate() {
+        let expires = activations[i].saturating_add(item.validity);
+        limit = limit.min(expires);
+        if expires < finish {
+            freshness_violations.push(i);
+        }
+    }
+    ScheduleAnalysis {
+        deadline_met: finish <= arrival + deadline,
+        activations,
+        finish,
+        freshness_violations,
+        limit,
+    }
+}
+
+/// Whether `order` is feasible (see [`analyze`]).
+pub fn is_feasible(
+    order: &[RetrievalItem],
+    channel: Channel,
+    arrival: SimTime,
+    deadline: SimDuration,
+) -> bool {
+    analyze(order, channel, arrival, deadline).is_feasible()
+}
+
+/// The cost-optimal total `Cost_opt = Σ C_i` (Eq. 1): every feasible
+/// schedule retrieves each object exactly once.
+pub fn optimal_cost(items: &[RetrievalItem]) -> dde_logic::meta::Cost {
+    items.iter().map(|i| i.cost).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dde_logic::meta::Cost;
+
+    fn item(label: &str, kb: u64, validity_s: u64) -> RetrievalItem {
+        RetrievalItem::new(
+            label,
+            Cost::from_bytes(kb * 1000),
+            SimDuration::from_secs(validity_s),
+        )
+    }
+
+    #[test]
+    fn timeline_is_back_to_back() {
+        let ch = Channel::mbps1();
+        // 125 KB = 1 s each.
+        let order = vec![item("a", 125, 100), item("b", 125, 100), item("c", 125, 100)];
+        let a = analyze(&order, ch, SimTime::from_secs(5), SimDuration::from_secs(60));
+        assert_eq!(
+            a.activations,
+            vec![
+                SimTime::from_secs(5),
+                SimTime::from_secs(6),
+                SimTime::from_secs(7)
+            ]
+        );
+        assert_eq!(a.finish, SimTime::from_secs(8));
+        assert!(a.is_feasible());
+        // Limit: deadline 65 vs earliest expiry 105 → slack = 65 - 8 = 57 s.
+        assert_eq!(a.slack(), Some(SimDuration::from_secs(57)));
+    }
+
+    #[test]
+    fn freshness_violation_detected() {
+        let ch = Channel::mbps1();
+        // First item expires (validity 1 s) before the 2 s finish.
+        let order = vec![item("volatile", 125, 1), item("big", 125, 100)];
+        let a = analyze(&order, ch, SimTime::ZERO, SimDuration::from_secs(60));
+        assert!(!a.is_feasible());
+        assert_eq!(a.freshness_violations, vec![0]);
+        assert!(a.deadline_met);
+        assert_eq!(a.slack(), None);
+        // Swapping the order fixes it.
+        let swapped = vec![item("big", 125, 100), item("volatile", 125, 1)];
+        assert!(is_feasible(&swapped, ch, SimTime::ZERO, SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn deadline_violation_detected() {
+        let ch = Channel::mbps1();
+        let order = vec![item("a", 1250, 100)]; // 10 s transfer
+        let a = analyze(&order, ch, SimTime::ZERO, SimDuration::from_secs(5));
+        assert!(!a.deadline_met);
+        assert!(a.freshness_violations.is_empty());
+        assert!(!a.is_feasible());
+    }
+
+    #[test]
+    fn boundary_exactly_at_expiry_is_fresh() {
+        let ch = Channel::mbps1();
+        // Item expires exactly at finish: t_i + I_i = F satisfies ≥.
+        let order = vec![item("a", 125, 2), item("b", 125, 1)];
+        let a = analyze(&order, ch, SimTime::ZERO, SimDuration::from_secs(2));
+        assert_eq!(a.finish, SimTime::from_secs(2));
+        assert!(a.is_feasible());
+        assert_eq!(a.slack(), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn empty_schedule_trivially_feasible() {
+        let a = analyze(&[], Channel::mbps1(), SimTime::ZERO, SimDuration::ZERO);
+        assert!(a.is_feasible());
+        assert_eq!(a.finish, SimTime::ZERO);
+    }
+
+    #[test]
+    fn optimal_cost_sums_items() {
+        let items = vec![item("a", 1, 1), item("b", 2, 1)];
+        assert_eq!(optimal_cost(&items), Cost::from_bytes(3000));
+    }
+}

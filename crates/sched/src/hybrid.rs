@@ -1,0 +1,186 @@
+//! The validity-constrained short-circuit greedy of ref \[3] (§III-A).
+//!
+//! "A greedy algorithm has been proposed, where all data object requests are
+//! first ordered according to their validity intervals (longest first) to
+//! meet data expiration constraints, then rearrangements are incrementally
+//! added, according to objects' short-circuiting probabilities per unit
+//! cost, to reduce the total expected retrieval cost."
+//!
+//! The implementation is a position-by-position greedy: at each slot, pick
+//! the remaining item with the best short-circuit ratio `(1 − p)/C` *whose
+//! placement still admits a feasible completion* (checked by appending the
+//! remainder in LVF order — sound and complete by the LVF optimality
+//! theorem). When no item admits a feasible completion (the instance is
+//! unschedulable anyway), fall back to pure LVF.
+
+use crate::feasibility::analyze;
+use crate::item::{Channel, RetrievalItem};
+use crate::lvf::sort_lvf;
+use dde_logic::time::{SimDuration, SimTime};
+
+/// Orders a conjunction's items to minimize expected retrieval cost subject
+/// to freshness and deadline feasibility. See the module docs.
+pub fn greedy_validity_shortcircuit(
+    items: &[RetrievalItem],
+    channel: Channel,
+    arrival: SimTime,
+    deadline: SimDuration,
+) -> Vec<RetrievalItem> {
+    let mut remaining: Vec<RetrievalItem> = items.to_vec();
+    // Deterministic scan order: best ratio first, ties by label.
+    remaining.sort_by(|a, b| {
+        b.and_shortcircuit_ratio()
+            .partial_cmp(&a.and_shortcircuit_ratio())
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then_with(|| a.label.cmp(&b.label))
+    });
+
+    let mut chosen: Vec<RetrievalItem> = Vec::with_capacity(items.len());
+    while !remaining.is_empty() {
+        let mut picked = None;
+        for idx in 0..remaining.len() {
+            // Tentatively place remaining[idx] next, then complete with LVF.
+            let mut candidate = chosen.clone();
+            candidate.push(remaining[idx].clone());
+            let mut rest: Vec<RetrievalItem> = remaining
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != idx)
+                .map(|(_, it)| it.clone())
+                .collect();
+            sort_lvf(&mut rest);
+            candidate.extend(rest);
+            if analyze(&candidate, channel, arrival, deadline).is_feasible() {
+                picked = Some(idx);
+                break;
+            }
+        }
+        match picked {
+            Some(idx) => chosen.push(remaining.remove(idx)),
+            None => {
+                // Unschedulable: emit the LVF completion (least bad).
+                sort_lvf(&mut remaining);
+                chosen.append(&mut remaining);
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasibility::is_feasible;
+    use crate::lvf::{lvf_order, schedulable};
+    use crate::shortcircuit::{expected_and_cost, optimal_and_order};
+    use dde_logic::meta::{Cost, Probability};
+    use proptest::prelude::*;
+
+    fn item(label: &str, kb: u64, validity_ms: u64, p: f64) -> RetrievalItem {
+        RetrievalItem::new(
+            label,
+            Cost::from_bytes(kb * 1000),
+            SimDuration::from_millis(validity_ms),
+        )
+        .with_prob(Probability::new(p).unwrap())
+    }
+
+    #[test]
+    fn unconstrained_equals_pure_shortcircuit_order() {
+        // Huge validities: freshness never binds.
+        let items = vec![
+            item("a", 100, 1_000_000, 0.9),
+            item("b", 50, 1_000_000, 0.1),
+            item("c", 75, 1_000_000, 0.5),
+        ];
+        let hybrid = greedy_validity_shortcircuit(
+            &items,
+            Channel::mbps1(),
+            SimTime::ZERO,
+            SimDuration::from_secs(3600),
+        );
+        let pure = optimal_and_order(&items);
+        let h: Vec<_> = hybrid.iter().map(|i| i.label.as_str()).collect();
+        let p: Vec<_> = pure.iter().map(|i| i.label.as_str()).collect();
+        assert_eq!(h, p);
+    }
+
+    #[test]
+    fn tight_validities_force_lvf_positions() {
+        let ch = Channel::mbps1();
+        // "volatile" has the best short-circuit ratio but must go last or
+        // its data expires: 2 items of 1 s each; volatile validity 1.5 s.
+        let items = vec![
+            item("volatile", 125, 1500, 0.0),
+            item("stable", 125, 60_000, 0.99),
+        ];
+        let order = greedy_validity_shortcircuit(
+            &items,
+            ch,
+            SimTime::ZERO,
+            SimDuration::from_secs(60),
+        );
+        let labels: Vec<_> = order.iter().map(|i| i.label.as_str()).collect();
+        assert_eq!(labels, vec!["stable", "volatile"]);
+        assert!(is_feasible(&order, ch, SimTime::ZERO, SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn unschedulable_falls_back_to_lvf() {
+        let ch = Channel::mbps1();
+        let items = vec![item("a", 125, 100, 0.5), item("b", 125, 100, 0.5)];
+        assert!(!schedulable(&items, ch, SimTime::ZERO, SimDuration::from_secs(60)));
+        let order = greedy_validity_shortcircuit(
+            &items,
+            ch,
+            SimTime::ZERO,
+            SimDuration::from_secs(60),
+        );
+        let lvf = lvf_order(&items);
+        let o: Vec<_> = order.iter().map(|i| i.label.as_str()).collect();
+        let l: Vec<_> = lvf.iter().map(|i| i.label.as_str()).collect();
+        assert_eq!(o, l);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The hybrid order is feasible whenever the instance is schedulable.
+        #[test]
+        fn hybrid_preserves_feasibility(
+            specs in prop::collection::vec((1u64..200, 300u64..5000, 0.0f64..=1.0), 1..6),
+            deadline_ms in 500u64..8000,
+        ) {
+            let items: Vec<_> = specs.iter().enumerate()
+                .map(|(i, (kb, v, p))| item(&format!("o{i}"), *kb, *v, *p))
+                .collect();
+            let ch = Channel::mbps1();
+            let d = SimDuration::from_millis(deadline_ms);
+            let order = greedy_validity_shortcircuit(&items, ch, SimTime::ZERO, d);
+            // Same multiset of items.
+            prop_assert_eq!(order.len(), items.len());
+            if schedulable(&items, ch, SimTime::ZERO, d) {
+                prop_assert!(is_feasible(&order, ch, SimTime::ZERO, d));
+            }
+        }
+
+        /// Never worse in expected cost than plain LVF when both feasible.
+        #[test]
+        fn hybrid_no_worse_than_lvf(
+            specs in prop::collection::vec((1u64..200, 1000u64..8000, 0.0f64..=1.0), 1..6),
+        ) {
+            let items: Vec<_> = specs.iter().enumerate()
+                .map(|(i, (kb, v, p))| item(&format!("o{i}"), *kb, *v, *p))
+                .collect();
+            let ch = Channel::mbps1();
+            let d = SimDuration::from_secs(3600);
+            let hybrid = greedy_validity_shortcircuit(&items, ch, SimTime::ZERO, d);
+            let lvf = lvf_order(&items);
+            if is_feasible(&lvf, ch, SimTime::ZERO, d) {
+                prop_assert!(
+                    expected_and_cost(&hybrid) <= expected_and_cost(&lvf) + 1e-6
+                );
+            }
+        }
+    }
+}

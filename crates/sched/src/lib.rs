@@ -1,0 +1,83 @@
+//! # dde-sched — decision-driven scheduling theory
+//!
+//! Implements the scheduling results the paper builds on (§III-A, §IV):
+//!
+//! - [`item`] — retrieval items (cost, validity, truth prior) and the
+//!   single-bottleneck [`Channel`] model;
+//! - [`feasibility`] — timeline analysis of a retrieval order against the
+//!   paper's two constraint families (data freshness `t_i + I_i ≥ F`,
+//!   decision deadline `t + D ≥ F`) and the `Cost_opt = Σ C_i` theorem;
+//! - [`lvf`] — Least-Volatile-object-First, optimal for a single query on a
+//!   single channel (property-tested against exhaustive search);
+//! - [`hierarchical`] — optimal multi-query scheduling via priority bands
+//!   keyed on `min(min_i I_i, D)`, LVF within bands;
+//! - [`shortcircuit`] — expected-cost-optimal orderings for ANDs
+//!   (`(1 − p)/C` descending) and ORs (`p/C` descending), and term-level
+//!   DNF planning;
+//! - [`hybrid`] — ref \[3]'s greedy combining validity feasibility with
+//!   short-circuit efficiency;
+//! - [`explain`] — human-readable rendering of retrieval plans;
+//! - [`shared`] — reuse-aware scheduling for queries that overlap in data
+//!   objects (the paper's §IV-B open problem), with the no-reuse reference;
+//! - [`tree`] — expected-cost-optimal evaluation plans for general AND/OR
+//!   expression trees (depth-first-optimal, checked against brute force);
+//! - [`optimal`] — exhaustive-search baselines for validation and ablation.
+//!
+//! # Example
+//!
+//! ```
+//! use dde_sched::prelude::*;
+//! use dde_logic::prelude::*;
+//!
+//! let items = vec![
+//!     RetrievalItem::new("bridge", Cost::from_bytes(500_000), SimDuration::from_secs(3600)),
+//!     RetrievalItem::new("traffic", Cost::from_bytes(200_000), SimDuration::from_secs(5)),
+//! ];
+//! let (order, analysis) = lvf_schedule(
+//!     &items, Channel::mbps1(), SimTime::ZERO, SimDuration::from_secs(30));
+//! assert_eq!(order[0].label.as_str(), "bridge"); // least volatile first
+//! assert!(analysis.is_feasible());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod explain;
+pub mod feasibility;
+pub mod hierarchical;
+pub mod hybrid;
+pub mod item;
+pub mod lvf;
+pub mod optimal;
+pub mod shared;
+pub mod shortcircuit;
+pub mod tree;
+
+pub use explain::{explain_dnf_plan, explain_plan};
+pub use feasibility::{analyze, is_feasible, optimal_cost, ScheduleAnalysis};
+pub use hierarchical::{
+    hierarchical_schedule, hierarchical_schedule_with, BandPolicy, MultiQuerySchedule, QuerySpec,
+};
+pub use hybrid::greedy_validity_shortcircuit;
+pub use item::{Channel, RetrievalItem};
+pub use lvf::{lvf_order, lvf_schedule, schedulable, sort_lvf};
+pub use shortcircuit::{
+    and_truth_prob, expected_and_cost, expected_or_cost, optimal_and_order, optimal_or_order,
+    plan_dnf, DnfPlan,
+};
+pub use shared::{no_reuse_cost, shared_schedule, ScheduledFetch, SharedQuery, SharedSchedule};
+pub use tree::{plan_expr, EvalPlan, PlanNode};
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::feasibility::{analyze, is_feasible, optimal_cost, ScheduleAnalysis};
+    pub use crate::hierarchical::{
+        hierarchical_schedule, hierarchical_schedule_with, BandPolicy, MultiQuerySchedule,
+        QuerySpec,
+    };
+    pub use crate::hybrid::greedy_validity_shortcircuit;
+    pub use crate::item::{Channel, RetrievalItem};
+    pub use crate::lvf::{lvf_order, lvf_schedule, schedulable};
+    pub use crate::shortcircuit::{expected_and_cost, optimal_and_order, plan_dnf, DnfPlan};
+    pub use crate::shared::{shared_schedule, SharedQuery, SharedSchedule};
+    pub use crate::tree::{plan_expr, EvalPlan, PlanNode};
+}

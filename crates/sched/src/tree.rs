@@ -1,0 +1,397 @@
+//! Expected-cost-optimal evaluation of general AND/OR expression trees.
+//!
+//! §III notes that decision queries need not stay in DNF ("a query could be
+//! resolved when a viable course of action is found for which additional
+//! conditions apply … ANDed with the original graph"). For an arbitrary
+//! AND/OR tree over independent conditions, the classic series–parallel
+//! result applies recursively: summarize every subtree by its truth
+//! probability `P` and expected evaluation cost `E`, then order the
+//! children of an AND by descending `(1 − P)/E` and the children of an OR
+//! by descending `P/E`. The result is optimal among *depth-first*
+//! evaluation orders (those that finish one subtree before starting a
+//! sibling), which is the natural execution model for sequential retrieval.
+//!
+//! Negation is handled by propagating complemented probabilities (the cost
+//! of evaluating `!x` equals the cost of evaluating `x`).
+
+use dde_logic::expr::Expr;
+use dde_logic::label::Label;
+use dde_logic::meta::MetaTable;
+
+/// An evaluation plan for an expression: the same tree with children
+/// reordered for minimum expected cost, plus per-node statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalPlan {
+    /// Probability that this (sub)expression evaluates to true.
+    pub prob_true: f64,
+    /// Expected retrieval cost (bytes) to decide it.
+    pub expected_cost: f64,
+    /// The node itself.
+    pub node: PlanNode,
+}
+
+/// A node of the evaluation plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// A constant: free, decided.
+    Const(bool),
+    /// Evaluate this label's condition (fetch + annotate its evidence).
+    Leaf {
+        /// The label to resolve.
+        label: Label,
+        /// Whether the literal is negated.
+        negated: bool,
+    },
+    /// Evaluate children in order; stop at the first false.
+    And(Vec<EvalPlan>),
+    /// Evaluate children in order; stop at the first true.
+    Or(Vec<EvalPlan>),
+}
+
+impl EvalPlan {
+    /// The depth-first leaf evaluation order of the plan.
+    pub fn leaf_order(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<Label>) {
+        match &self.node {
+            PlanNode::Const(_) => {}
+            PlanNode::Leaf { label, .. } => out.push(label.clone()),
+            PlanNode::And(children) | PlanNode::Or(children) => {
+                for c in children {
+                    c.collect_leaves(out);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the expected-cost-optimal depth-first evaluation plan for `expr`,
+/// reading per-label cost and truth probability from `meta` (labels missing
+/// from the table get the pessimistic default: zero cost, probability ½).
+pub fn plan_expr(expr: &Expr, meta: &MetaTable) -> EvalPlan {
+    plan(expr, meta, false)
+}
+
+fn plan(expr: &Expr, meta: &MetaTable, negated: bool) -> EvalPlan {
+    match expr {
+        Expr::Const(b) => EvalPlan {
+            prob_true: if *b != negated { 1.0 } else { 0.0 },
+            expected_cost: 0.0,
+            node: PlanNode::Const(*b != negated),
+        },
+        Expr::Label(label) => {
+            let m = meta.get_or_default(label);
+            let p = m.prob_true.value();
+            EvalPlan {
+                prob_true: if negated { 1.0 - p } else { p },
+                expected_cost: m.cost.as_f64(),
+                node: PlanNode::Leaf {
+                    label: label.clone(),
+                    negated,
+                },
+            }
+        }
+        Expr::Not(inner) => plan(inner, meta, !negated),
+        // De Morgan under negation: a negated AND plans as an OR of negated
+        // children and vice versa.
+        Expr::And(children) if !negated => plan_and(children, meta, false),
+        Expr::And(children) => plan_or(children, meta, true),
+        Expr::Or(children) if !negated => plan_or(children, meta, false),
+        Expr::Or(children) => plan_and(children, meta, true),
+    }
+}
+
+fn plan_and(children: &[Expr], meta: &MetaTable, negate_children: bool) -> EvalPlan {
+    let mut plans: Vec<EvalPlan> = children
+        .iter()
+        .map(|c| plan(c, meta, negate_children))
+        .collect();
+    // Short-circuit efficiency for AND: (1 − P)/E descending.
+    plans.sort_by(|a, b| {
+        ratio_and(b)
+            .partial_cmp(&ratio_and(a))
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+    let mut reach = 1.0;
+    let mut cost = 0.0;
+    let mut prob = 1.0;
+    for p in &plans {
+        cost += reach * p.expected_cost;
+        reach *= p.prob_true;
+        prob *= p.prob_true;
+    }
+    EvalPlan {
+        prob_true: prob,
+        expected_cost: cost,
+        node: PlanNode::And(plans),
+    }
+}
+
+fn plan_or(children: &[Expr], meta: &MetaTable, negate_children: bool) -> EvalPlan {
+    let mut plans: Vec<EvalPlan> = children
+        .iter()
+        .map(|c| plan(c, meta, negate_children))
+        .collect();
+    // Short-circuit efficiency for OR: P/E descending.
+    plans.sort_by(|a, b| {
+        ratio_or(b)
+            .partial_cmp(&ratio_or(a))
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+    let mut reach = 1.0; // probability everything so far was false
+    let mut cost = 0.0;
+    let mut prob_false = 1.0;
+    for p in &plans {
+        cost += reach * p.expected_cost;
+        reach *= 1.0 - p.prob_true;
+        prob_false *= 1.0 - p.prob_true;
+    }
+    EvalPlan {
+        prob_true: 1.0 - prob_false,
+        expected_cost: cost,
+        node: PlanNode::Or(plans),
+    }
+}
+
+fn ratio_and(p: &EvalPlan) -> f64 {
+    if p.expected_cost == 0.0 {
+        f64::INFINITY
+    } else {
+        (1.0 - p.prob_true) / p.expected_cost
+    }
+}
+
+fn ratio_or(p: &EvalPlan) -> f64 {
+    if p.expected_cost == 0.0 {
+        f64::INFINITY
+    } else {
+        p.prob_true / p.expected_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dde_logic::meta::{ConditionMeta, Cost, Probability};
+    use dde_logic::parse::parse_expr;
+    use dde_logic::time::SimDuration;
+    use proptest::prelude::*;
+
+    fn meta(entries: &[(&str, u64, f64)]) -> MetaTable {
+        entries
+            .iter()
+            .map(|(l, bytes, p)| {
+                (
+                    Label::new(*l),
+                    ConditionMeta::new(Cost::from_bytes(*bytes), SimDuration::MAX)
+                        .with_prob(Probability::clamped(*p)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_pair_example_as_tree() {
+        // h: 4 MB @ 0.6, k: 5 MB @ 0.2 — k first, expected 5.8 MB.
+        let e = parse_expr("h & k").unwrap();
+        let m = meta(&[("h", 4_000_000, 0.6), ("k", 5_000_000, 0.2)]);
+        let plan = plan_expr(&e, &m);
+        assert_eq!(
+            plan.leaf_order(),
+            vec![Label::new("k"), Label::new("h")]
+        );
+        assert!((plan.expected_cost - 5.8e6).abs() < 1.0);
+        assert!((plan.prob_true - 0.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn or_prefers_likely_true() {
+        let e = parse_expr("a | b").unwrap();
+        let m = meta(&[("a", 1_000, 0.1), ("b", 1_000, 0.9)]);
+        let plan = plan_expr(&e, &m);
+        assert_eq!(plan.leaf_order()[0], Label::new("b"));
+        // E = 1000 + 0.1 * 1000 = 1100.
+        assert!((plan.expected_cost - 1100.0).abs() < 1e-6);
+        assert!((plan.prob_true - 0.91).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_tree_summarizes_subtrees() {
+        // (a & b) | c: the AND subtree is summarized by (P, E) and competes
+        // with c for first place.
+        let e = parse_expr("(a & b) | c").unwrap();
+        // AND subtree: P = 0.81, E = 100 + 0.9*100 = 190; ratio = 0.00426
+        // c: P = 0.5, E = 1000; ratio 0.0005 → AND first.
+        let m = meta(&[("a", 100, 0.9), ("b", 100, 0.9), ("c", 1000, 0.5)]);
+        let plan = plan_expr(&e, &m);
+        assert_eq!(plan.leaf_order().last().unwrap(), &Label::new("c"));
+        // E = 190 + (1 - 0.81) * 1000 = 380.
+        assert!((plan.expected_cost - 380.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negation_flips_probability_not_cost() {
+        let e = parse_expr("!a").unwrap();
+        let m = meta(&[("a", 500, 0.3)]);
+        let plan = plan_expr(&e, &m);
+        assert!((plan.prob_true - 0.7).abs() < 1e-12);
+        assert!((plan.expected_cost - 500.0).abs() < 1e-12);
+        match plan.node {
+            PlanNode::Leaf { negated, .. } => assert!(negated),
+            other => panic!("expected leaf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn de_morgan_negated_and_becomes_or() {
+        // !(a & b): cheap-to-refute child first, as an OR of negations.
+        let e = parse_expr("!(a & b)").unwrap();
+        let m = meta(&[("a", 100, 0.1), ("b", 100, 0.9)]);
+        let plan = plan_expr(&e, &m);
+        match &plan.node {
+            PlanNode::Or(children) => {
+                assert_eq!(children.len(), 2);
+                // !a has P = 0.9 → best OR ratio → goes first.
+                assert_eq!(plan.leaf_order()[0], Label::new("a"));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+        assert!((plan.prob_true - (1.0 - 0.09)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constants_are_free() {
+        let e = parse_expr("true & a").unwrap();
+        let m = meta(&[("a", 700, 0.5)]);
+        let plan = plan_expr(&e, &m);
+        assert!((plan.expected_cost - 700.0).abs() < 1e-12);
+        let e2 = parse_expr("false & a").unwrap();
+        let plan2 = plan_expr(&e2, &m);
+        // The false constant short-circuits everything for free.
+        assert_eq!(plan2.expected_cost, 0.0);
+        assert_eq!(plan2.prob_true, 0.0);
+    }
+
+    /// Brute force: expected cost of every depth-first child ordering.
+    fn brute_force_min(expr: &Expr, m: &MetaTable, negated: bool) -> f64 {
+        fn orderings(n: usize) -> Vec<Vec<usize>> {
+            fn go(rest: &[usize]) -> Vec<Vec<usize>> {
+                if rest.is_empty() {
+                    return vec![vec![]];
+                }
+                let mut out = Vec::new();
+                for i in 0..rest.len() {
+                    let mut sub = rest.to_vec();
+                    let head = sub.remove(i);
+                    for mut p in go(&sub) {
+                        p.insert(0, head);
+                        out.push(p);
+                    }
+                }
+                out
+            }
+            go(&(0..n).collect::<Vec<_>>())
+        }
+        // Returns (min expected cost, prob true) over depth-first orders.
+        fn eval(expr: &Expr, m: &MetaTable, negated: bool) -> (f64, f64) {
+            match expr {
+                Expr::Const(b) => (0.0, if *b != negated { 1.0 } else { 0.0 }),
+                Expr::Label(l) => {
+                    let meta = m.get_or_default(l);
+                    let p = meta.prob_true.value();
+                    (
+                        meta.cost.as_f64(),
+                        if negated { 1.0 - p } else { p },
+                    )
+                }
+                Expr::Not(inner) => eval(inner, m, !negated),
+                Expr::And(cs) | Expr::Or(cs) => {
+                    let is_and = matches!(expr, Expr::And(_)) != negated;
+                    let children: Vec<(f64, f64)> =
+                        cs.iter().map(|c| eval(c, m, negated)).collect();
+                    let mut best = f64::INFINITY;
+                    let mut prob = 1.0;
+                    for (_, p) in &children {
+                        if is_and {
+                            prob *= p;
+                        } else {
+                            prob *= 1.0 - p;
+                        }
+                    }
+                    let prob_true = if is_and { prob } else { 1.0 - prob };
+                    for order in orderings(children.len()) {
+                        let mut reach = 1.0;
+                        let mut cost = 0.0;
+                        for &i in &order {
+                            let (e, p) = children[i];
+                            cost += reach * e;
+                            reach *= if is_and { p } else { 1.0 - p };
+                        }
+                        best = best.min(cost);
+                    }
+                    if children.is_empty() {
+                        best = 0.0;
+                    }
+                    (best, prob_true)
+                }
+            }
+        }
+        eval(expr, m, negated).0
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The plan's expected cost matches brute force over all depth-first
+        /// child orderings at every node.
+        #[test]
+        fn optimal_among_depth_first_orders(
+            costs in prop::collection::vec(1u64..1000, 5),
+            probs in prop::collection::vec(0.05f64..0.95, 5),
+            shape in 0u8..4,
+        ) {
+            let m: MetaTable = (0..5)
+                .map(|i| (
+                    Label::new(format!("v{i}")),
+                    ConditionMeta::new(Cost::from_bytes(costs[i]), SimDuration::MAX)
+                        .with_prob(Probability::clamped(probs[i])),
+                ))
+                .collect();
+            let expr = match shape {
+                0 => parse_expr("(v0 & v1) | (v2 & v3 & v4)").unwrap(),
+                1 => parse_expr("v0 & (v1 | v2) & (v3 | v4)").unwrap(),
+                2 => parse_expr("!(v0 & v1) | (v2 & !v3) | v4").unwrap(),
+                _ => parse_expr("((v0 | v1) & v2) | (v3 & v4)").unwrap(),
+            };
+            let plan = plan_expr(&expr, &m);
+            let best = brute_force_min(&expr, &m, false);
+            prop_assert!(
+                (plan.expected_cost - best).abs() < 1e-6,
+                "plan {} vs brute force {best}", plan.expected_cost
+            );
+        }
+
+        /// The plan's truth probability matches independent-condition
+        /// semantics regardless of ordering.
+        #[test]
+        fn probability_is_order_independent(
+            probs in prop::collection::vec(0.0f64..=1.0, 3),
+        ) {
+            let m: MetaTable = (0..3)
+                .map(|i| (
+                    Label::new(format!("v{i}")),
+                    ConditionMeta::new(Cost::from_bytes(10), SimDuration::MAX)
+                        .with_prob(Probability::clamped(probs[i])),
+                ))
+                .collect();
+            let e = parse_expr("(v0 & v1) | v2").unwrap();
+            let plan = plan_expr(&e, &m);
+            let expected = 1.0 - (1.0 - probs[0] * probs[1]) * (1.0 - probs[2]);
+            prop_assert!((plan.prob_true - expected).abs() < 1e-9);
+        }
+    }
+}

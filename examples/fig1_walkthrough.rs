@@ -1,0 +1,124 @@
+//! Regenerates the message flow of the paper's **Fig. 1**: three nodes
+//! A — B — C; the user issues a query at A over two data objects `u` and
+//! `v`, both sourced at C.
+//!
+//! With prefetching enabled, C reacts to the query announcement by pushing
+//! `u` and `v` back toward A in the background (the grey arrows of Fig. 1).
+//! A's foreground fetch for the second object then meets the staged copy at
+//! the forwarder B — a cache hit that never reaches the source.
+//!
+//! Run with: `cargo run -p dde-examples --bin fig1_walkthrough`
+
+use dde_core::prelude::*;
+use dde_logic::dnf::{Dnf, Term};
+use dde_logic::label::Label;
+use dde_logic::time::{SimDuration, SimTime};
+use dde_netsim::topology::{LinkSpec, NodeId, Topology};
+use dde_workload::catalog::{Catalog, ObjectSpec};
+use dde_workload::grid::RoadGrid;
+use dde_workload::scenario::{QueryInstance, Scenario, ScenarioConfig};
+use dde_workload::world::{DynamicsClass, WorldModel};
+
+fn build() -> Scenario {
+    let mut config = ScenarioConfig::small();
+    config.deadline = SimDuration::from_secs(60);
+    config.prob_viable = 1.0;
+
+    let topology = Topology::line(3, LinkSpec::mbps1());
+
+    let mut world = WorldModel::new(1);
+    let slow = SimDuration::from_secs(600);
+    world.register(Label::new("cond_u"), DynamicsClass::Slow, slow, 1.0);
+    world.register(Label::new("cond_v"), DynamicsClass::Slow, slow, 1.0);
+
+    let mut catalog = Catalog::new();
+    for (obj, label, kb) in [("u", "cond_u", 400u64), ("v", "cond_v", 500)] {
+        catalog.add(ObjectSpec {
+            name: format!("/fig1/{obj}").parse().expect("valid"),
+            covers: vec![Label::new(label)],
+            size: kb * 1000,
+            source: NodeId(2), // node C
+            class: DynamicsClass::Slow,
+            validity: slow,
+        });
+    }
+
+    let queries = vec![QueryInstance {
+        id: 0,
+        origin: NodeId(0), // node A
+        expr: Dnf::from_terms(vec![Term::all_of(["cond_u", "cond_v"])]),
+        deadline: config.deadline,
+        issue_at: SimTime::ZERO,
+    }];
+
+    Scenario {
+        grid: RoadGrid::new(2, 2), // unused placeholder geometry
+        node_sites: Vec::new(),
+        config,
+        topology,
+        world,
+        catalog,
+        queries,
+    }
+}
+
+fn run(prefetch: bool) -> (RunReport, Vec<dde_netsim::TraceEvent>) {
+    let scenario = build();
+    let mut options = RunOptions::new(Strategy::Lvf);
+    options.prefetch = Some(prefetch);
+    run_scenario_traced(&scenario, options, 64)
+}
+
+fn node_name(n: NodeId) -> &'static str {
+    match n.index() {
+        0 => "A",
+        1 => "B",
+        _ => "C",
+    }
+}
+
+fn main() {
+    println!("== Fig. 1 walkthrough: query at A over objects u, v sourced at C ==\n");
+    println!("topology: A(n0) --1Mbps-- B(n1) --1Mbps-- C(n2)\n");
+
+    for prefetch in [false, true] {
+        let (report, trace) = run(prefetch);
+        println!(
+            "--- message flow (prefetch {}) ---",
+            if prefetch { "ON" } else { "off" }
+        );
+        for ev in &trace {
+            println!(
+                "  {:>9.3}s  {} -> {}  {:<8} {:>7} B{}",
+                ev.at.as_secs_f64(),
+                node_name(ev.from),
+                node_name(ev.to),
+                ev.kind,
+                ev.bytes,
+                if ev.background { "  (background)" } else { "" },
+            );
+        }
+        println!(
+            "prefetch {:>3}: decided={} cache_hits={} prefetch_pushes={} data_bytes={:.2} MB latency={}",
+            if prefetch { "ON" } else { "off" },
+            report.resolved,
+            report.cache_hits,
+            report.prefetch_pushes,
+            *report.bytes_by_kind.get("data").unwrap_or(&0) as f64 / 1e6,
+            report
+                .mean_resolution_latency
+                .map(|d| format!("{:.2} s", d.as_secs_f64()))
+                .unwrap_or_else(|| "—".into()),
+        );
+    }
+
+    println!(
+        "\nWith prefetch ON, C starts pushing u and v toward A the moment the\n\
+         query announcement arrives (grey background traffic in the figure).\n\
+         A's fetch request is then answered from a staged copy mid-path —\n\
+         the cache hit the figure highlights — instead of traveling all the\n\
+         way to the source. The staging itself costs extra bytes (compare\n\
+         the data columns): prefetching trades bandwidth for readiness,\n\
+         which pays off when origins are busy or sources are far."
+    );
+}

@@ -1,0 +1,3 @@
+//! The examples are standalone binaries; see the sibling `*.rs` files:
+//! `quickstart`, `disaster_response`, `smart_building`, `fig1_walkthrough`,
+//! `city_scale`, `mission_workflow`.

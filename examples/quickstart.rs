@@ -1,0 +1,105 @@
+//! Quickstart: the decision-driven execution API in five minutes.
+//!
+//! 1. Author a decision query as a Boolean expression over labels.
+//! 2. Attach retrieval metadata (cost, validity, truth prior) per condition.
+//! 3. Plan retrieval: short-circuit ordering + validity feasibility.
+//! 4. Evaluate incrementally as evidence arrives; watch pruning kick in.
+//!
+//! Run with: `cargo run -p dde-examples --bin quickstart`
+
+use dde_logic::prelude::*;
+use dde_sched::explain::explain_dnf_plan;
+use dde_sched::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -- 1. The paper's route-finding decision -------------------------
+    // Two candidate routes after the earthquake: A-B-C or D-E-F.
+    let expr = parse_expr(
+        "(viableA & viableB & viableC) | (viableD & viableE & viableF)",
+    )?;
+    let query = expr.to_dnf(64)?;
+    println!("decision query : {query}");
+    println!("labels needed  : {}\n", query.labels().len());
+
+    // -- 2. Per-condition metadata (§III-A) ----------------------------
+    // Roadside pictures: size = retrieval cost, validity = how long the
+    // road state stays trustworthy, prior = chance the segment is viable.
+    let meta: MetaTable = [
+        ("viableA", 400_000u64, 600u64, 0.9),
+        ("viableB", 900_000, 30, 0.9), // volatile: flooding camera
+        ("viableC", 300_000, 600, 0.9),
+        ("viableD", 200_000, 600, 0.4), // likely blocked
+        ("viableE", 500_000, 600, 0.4),
+        ("viableF", 350_000, 600, 0.4),
+    ]
+    .into_iter()
+    .map(|(l, bytes, validity_s, p)| {
+        (
+            Label::new(l),
+            ConditionMeta::new(Cost::from_bytes(bytes), SimDuration::from_secs(validity_s))
+                .with_prob(Probability::new(p).expect("valid prob")),
+        )
+    })
+    .collect();
+
+    // -- 3. Plan retrieval ---------------------------------------------
+    // Term order: highest truth-probability per expected cost first.
+    // Within a term: highest short-circuit ratio (1-p)/C first.
+    let plan = plan_dnf(&query, &meta);
+    println!("retrieval plan:\n{}", explain_dnf_plan(&plan));
+
+    // Validity-aware ordering for the first-planned route over a 1 Mbps
+    // channel: the volatile viableB is deferred so it is still fresh at
+    // decision time (Least-Volatile-First, §IV-A).
+    let (first_idx, first_route_items) = &plan.terms[0];
+    let ordered = greedy_validity_shortcircuit(
+        first_route_items,
+        Channel::mbps1(),
+        SimTime::ZERO,
+        SimDuration::from_secs(60),
+    );
+    let order: Vec<&str> = ordered.iter().map(|i| i.label.as_str()).collect();
+    println!("validity-feasible order for route {first_idx}: {order:?}");
+
+    let analysis = analyze(
+        &ordered,
+        Channel::mbps1(),
+        SimTime::ZERO,
+        SimDuration::from_secs(60),
+    );
+    println!(
+        "  finishes at {} (feasible: {})\n",
+        analysis.finish,
+        analysis.is_feasible()
+    );
+
+    // -- 4. Incremental evaluation with short-circuiting ----------------
+    let mut world = Assignment::new();
+    let now = SimTime::from_secs(5);
+    println!("evidence arrives: viableA = false");
+    world.set(
+        Label::new("viableA"),
+        Truth::False,
+        now,
+        SimDuration::from_secs(600),
+    );
+    println!("  resolution : {:?}", query.resolution(&world, now));
+    println!(
+        "  still worth fetching: {:?}",
+        query
+            .relevant_labels(&world, now)
+            .iter()
+            .map(Label::as_str)
+            .collect::<Vec<_>>()
+    );
+
+    println!("evidence arrives: viableD, viableE, viableF = true");
+    for l in ["viableD", "viableE", "viableF"] {
+        world.set(Label::new(l), Truth::True, now, SimDuration::from_secs(600));
+    }
+    match query.resolution(&world, now) {
+        Resolution::Viable(i) => println!("  DECIDED: course of action #{i} is viable"),
+        other => println!("  unexpected: {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! Event-triggered decision making (§IV-B) in a smart building.
+//!
+//! "The firing of a motion sensor inside a warehouse after hours may
+//! trigger a decision task to determine the identity of the intruder."
+//! This example models a small building network: a motion event triggers a
+//! security decision whose logic combines threshold-predicated continuous
+//! sensors (the `Dim` example of §II-B) with camera evidence:
+//!
+//! ```text
+//! dispatch_guard = (motion & door_open & !badge_ok)          // break-in
+//!                | (motion & window_broken)                   // forced entry
+//! ```
+//!
+//! Run with: `cargo run -p dde-examples --bin smart_building`
+
+use dde_core::prelude::*;
+use dde_logic::parse::parse_expr;
+use dde_logic::label::Label;
+use dde_logic::time::{SimDuration, SimTime};
+use dde_netsim::topology::{LinkSpec, NodeId, Topology};
+use dde_workload::catalog::{Catalog, ObjectSpec};
+use dde_workload::grid::RoadGrid;
+use dde_workload::scenario::{QueryInstance, Scenario, ScenarioConfig};
+use dde_workload::world::{DynamicsClass, WorldModel};
+
+fn build(trigger_at: SimTime) -> Scenario {
+    let mut config = ScenarioConfig::small();
+    config.deadline = SimDuration::from_secs(30);
+    config.prob_viable = 0.5;
+
+    // Security desk (0) — corridor gateway (1) — warehouse wing (2, 3).
+    let mut topology = Topology::new(4);
+    let fast_link = LinkSpec::with_bandwidth(10_000_000); // building LAN
+    topology.add_link(NodeId(0), NodeId(1), fast_link);
+    topology.add_link(NodeId(1), NodeId(2), fast_link);
+    topology.add_link(NodeId(1), NodeId(3), fast_link);
+    topology.rebuild_routes();
+
+    // Ground truth at trigger time: motion + open door + no badge swipe —
+    // a break-in through the door, window intact.
+    let mut world = WorldModel::new(31);
+    for (label, validity_s, p) in [
+        ("motion", 20, 1.0),       // fast-decaying occupancy state
+        ("door_open", 60, 1.0),
+        ("badge_ok", 300, 0.0),    // nobody badged in
+        ("window_broken", 600, 0.0),
+    ] {
+        world.register(
+            Label::new(label),
+            if validity_s < 60 {
+                DynamicsClass::Fast
+            } else {
+                DynamicsClass::Slow
+            },
+            SimDuration::from_secs(validity_s),
+            p,
+        );
+    }
+
+    // Evidence sources around the building.
+    let mut catalog = Catalog::new();
+    for (name, covers, node, bytes, validity_s) in [
+        ("/bldg/warehouse/pir", vec!["motion"], 2usize, 2_000u64, 20u64),
+        ("/bldg/warehouse/doorcam", vec!["door_open"], 2, 400_000, 60),
+        ("/bldg/lobby/badge-log", vec!["badge_ok"], 0, 5_000, 300),
+        ("/bldg/warehouse/windowcam", vec!["window_broken"], 3, 600_000, 600),
+    ] {
+        let class = if validity_s < 60 {
+            DynamicsClass::Fast
+        } else {
+            DynamicsClass::Slow
+        };
+        catalog.add(ObjectSpec {
+            name: name.parse().expect("valid"),
+            covers: covers.into_iter().map(Label::new).collect(),
+            size: bytes,
+            source: NodeId(node),
+            class,
+            validity: SimDuration::from_secs(validity_s),
+        });
+    }
+
+    // The decision triggered by the motion event, from §IV-B. Negated
+    // literals exercise the general expression pipeline.
+    let expr = parse_expr("(motion & door_open & !badge_ok) | (motion & window_broken)")
+        .expect("valid expression")
+        .to_dnf(16)
+        .expect("small expression");
+
+    let queries = vec![QueryInstance {
+        id: 0,
+        origin: NodeId(0),
+        expr,
+        deadline: config.deadline,
+        issue_at: trigger_at,
+    }];
+
+    Scenario {
+        grid: RoadGrid::new(2, 2), // unused placeholder geometry
+        node_sites: Vec::new(),
+        config,
+        topology,
+        world,
+        catalog,
+        queries,
+    }
+}
+
+fn main() {
+    println!("== Smart building: motion sensor fires at 02:13, decide whether to dispatch a guard ==\n");
+    let trigger_at = SimTime::from_secs(8);
+    let scenario = build(trigger_at);
+    let report = run_scenario(&scenario, RunOptions::new(Strategy::Lvf));
+
+    println!("decision logic : (motion & door_open & !badge_ok) | (motion & window_broken)");
+    println!("triggered at   : {trigger_at}");
+    match (report.viable, report.infeasible, report.missed) {
+        (v, _, _) if v > 0 => println!("outcome        : DISPATCH — break-in conditions confirmed"),
+        (_, i, _) if i > 0 => println!("outcome        : stand down — no alarm condition holds"),
+        _ => println!("outcome        : deadline missed"),
+    }
+    println!(
+        "evidence moved : {:.1} KB over the building LAN",
+        report.total_bytes as f64 / 1e3
+    );
+    println!(
+        "decision delay : {}",
+        report
+            .mean_resolution_latency
+            .map(|d| format!("{:.2} s", d.as_secs_f64()))
+            .unwrap_or_else(|| "—".into())
+    );
+    println!(
+        "\nNote how the badge log (5 KB) is fetched before the 400 KB door\n\
+         camera clip: inside an AND, the cheap condition with the best\n\
+         short-circuit ratio goes first (§III-A) — if someone DID badge in,\n\
+         no video needs to move at all."
+    );
+}
