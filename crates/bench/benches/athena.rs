@@ -27,9 +27,7 @@ fn engine_runs(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.code()),
             &scenario,
-            |b, scenario| {
-                b.iter(|| black_box(run_scenario(scenario, RunOptions::new(strategy))))
-            },
+            |b, scenario| b.iter(|| black_box(run_scenario(scenario, RunOptions::new(strategy)))),
         );
     }
     group.finish();

@@ -11,11 +11,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
-fn instance(
-    labels: usize,
-    sources: usize,
-    seed: u64,
-) -> (BTreeSet<Label>, Vec<Source<usize>>) {
+fn instance(labels: usize, sources: usize, seed: u64) -> (BTreeSet<Label>, Vec<Source<usize>>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let needed: BTreeSet<Label> = (0..labels).map(|i| Label::new(format!("l{i}"))).collect();
     let srcs: Vec<Source<usize>> = (0..sources)
@@ -24,7 +20,11 @@ fn instance(
             let covers: BTreeSet<String> = (0..k)
                 .map(|_| format!("l{}", rng.gen_range(0..labels)))
                 .collect();
-            Source::new(i, covers, Cost::from_bytes(rng.gen_range(100_000..1_000_000)))
+            Source::new(
+                i,
+                covers,
+                Cost::from_bytes(rng.gen_range(100_000..1_000_000)),
+            )
         })
         .collect();
     (needed, srcs)

@@ -71,9 +71,7 @@ fn utility_triage(c: &mut Criterion) {
         let names = city_names(n, 4);
         let items: Vec<UtilityItem> = names
             .into_iter()
-            .map(|name| {
-                UtilityItem::new(name, rng.gen_range(0.1..10.0), rng.gen_range(50..1000))
-            })
+            .map(|name| UtilityItem::new(name, rng.gen_range(0.1..10.0), rng.gen_range(50..1000)))
             .collect();
         let budget: u64 = items.iter().map(|i| i.cost).sum::<u64>() / 3;
         group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {

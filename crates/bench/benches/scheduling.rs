@@ -100,19 +100,15 @@ fn hierarchical_multi_query(c: &mut Criterion) {
                 )
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(queries),
-            &specs,
-            |b, specs| {
-                b.iter(|| {
-                    black_box(hierarchical_schedule(
-                        black_box(specs),
-                        Channel::mbps1(),
-                        SimTime::ZERO,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(queries), &specs, |b, specs| {
+            b.iter(|| {
+                black_box(hierarchical_schedule(
+                    black_box(specs),
+                    Channel::mbps1(),
+                    SimTime::ZERO,
+                ))
+            })
+        });
     }
     group.finish();
 }
@@ -151,10 +147,22 @@ fn shared_vs_no_reuse(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("scheduling/shared_objects");
     group.bench_function("reuse_aware_10q", |b| {
-        b.iter(|| black_box(shared_schedule(black_box(&queries), Channel::mbps1(), SimTime::ZERO)))
+        b.iter(|| {
+            black_box(shared_schedule(
+                black_box(&queries),
+                Channel::mbps1(),
+                SimTime::ZERO,
+            ))
+        })
     });
     group.bench_function("no_reuse_10q", |b| {
-        b.iter(|| black_box(no_reuse_cost(black_box(&queries), Channel::mbps1(), SimTime::ZERO)))
+        b.iter(|| {
+            black_box(no_reuse_cost(
+                black_box(&queries),
+                Channel::mbps1(),
+                SimTime::ZERO,
+            ))
+        })
     });
     group.finish();
 }
@@ -164,10 +172,8 @@ fn tree_planning(c: &mut Criterion) {
     use dde_logic::parse::parse_expr;
     use dde_sched::tree::plan_expr;
     let mut rng = SmallRng::seed_from_u64(7);
-    let expr = parse_expr(
-        "((v0 & v1 & v2) | (v3 & v4)) & ((v5 | v6 | v7) & !(v8 & v9))",
-    )
-    .expect("valid");
+    let expr =
+        parse_expr("((v0 & v1 & v2) | (v3 & v4)) & ((v5 | v6 | v7) & !(v8 & v9))").expect("valid");
     let meta: MetaTable = (0..10)
         .map(|i| {
             (

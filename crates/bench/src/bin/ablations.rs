@@ -64,8 +64,7 @@ fn runs_with(
     (0..cfg.reps)
         .map(|r| {
             let seed = cfg.seed + r;
-            let scen_cfg =
-                mutate_scenario(cfg.base.clone().with_seed(seed).with_fast_ratio(0.4));
+            let scen_cfg = mutate_scenario(cfg.base.clone().with_seed(seed).with_fast_ratio(0.4));
             let scenario = Scenario::build(scen_cfg);
             let mut options = mutate_options(RunOptions::new(strategy));
             options.seed = seed ^ 0xab1a;
@@ -79,7 +78,12 @@ fn runs(
     mutate_scenario: impl Fn(ScenarioConfig) -> ScenarioConfig,
     mutate_options: impl Fn(RunOptions) -> RunOptions,
 ) -> Vec<RunReport> {
-    runs_with(cfg, Strategy::LvfLabelShare, mutate_scenario, mutate_options)
+    runs_with(
+        cfg,
+        Strategy::LvfLabelShare,
+        mutate_scenario,
+        mutate_options,
+    )
 }
 
 fn summarize(label: &str, reports: &[RunReport]) {
@@ -112,8 +116,7 @@ fn prefetch_ablation(cfg: &HarnessConfig) {
     );
     summarize("prefetch off", &off);
     summarize("prefetch on (background)", &on);
-    let pushes: f64 =
-        on.iter().map(|r| r.prefetch_pushes as f64).sum::<f64>() / on.len() as f64;
+    let pushes: f64 = on.iter().map(|r| r.prefetch_pushes as f64).sum::<f64>() / on.len() as f64;
     println!("  ({pushes:.0} pushes/run; staging trades bandwidth for readiness)\n");
 }
 
@@ -165,7 +168,10 @@ fn cache_capacity_ablation(cfg: &HarnessConfig) {
                 o
             },
         );
-        summarize(&format!("{:>5.1} MB / node", capacity as f64 / 1e6), &reports);
+        summarize(
+            &format!("{:>5.1} MB / node", capacity as f64 / 1e6),
+            &reports,
+        );
     }
     println!();
 }
@@ -305,9 +311,7 @@ fn anticipation_ablation(cfg: &HarnessConfig) {
     });
     summarize("announce at issue time", &plain);
     summarize("announce 45 s ahead", &anticipated);
-    println!(
-        "  (knowing the decision early lets sources stage evidence before it is needed)\n"
-    );
+    println!("  (knowing the decision early lets sources stage evidence before it is needed)\n");
 }
 
 fn triage_ablation(cfg: &HarnessConfig) {

@@ -101,8 +101,8 @@ pub struct FigureRow {
 
 /// Sweeps `fast_ratios` × strategies × reps, extracting `metric` from each
 /// run. Runs are independent and deterministic per seed, so they execute on
-/// a crossbeam scoped-thread pool sized to the available parallelism; the
-/// output is identical to the sequential order.
+/// a `std::thread::scope` worker pool sized to the available parallelism;
+/// the output is identical to the sequential order.
 pub fn sweep(
     cfg: &HarnessConfig,
     fast_ratios: &[f64],
@@ -119,33 +119,29 @@ pub fn sweep(
                 .flat_map(move |(si, _)| (0..cfg.reps).map(move |r| (ri, si, r)))
         })
         .collect();
-    let results: Vec<parking_lot::Mutex<f64>> =
-        grid.iter().map(|_| parking_lot::Mutex::new(f64::NAN)).collect();
+    let results: Vec<std::sync::Mutex<f64>> = grid
+        .iter()
+        .map(|_| std::sync::Mutex::new(f64::NAN))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(grid.len().max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if k >= grid.len() {
                     break;
                 }
                 let (ri, si, r) = grid[k];
-                let report = run_point(
-                    &cfg.base,
-                    fast_ratios[ri],
-                    Strategy::ALL[si],
-                    cfg.seed + r,
-                );
-                *results[k].lock() = metric(&report);
+                let report = run_point(&cfg.base, fast_ratios[ri], Strategy::ALL[si], cfg.seed + r);
+                *results[k].lock().expect("sweep cell poisoned") = metric(&report);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     // Reassemble rows in the sequential order.
     let mut it = results.iter();
@@ -155,8 +151,14 @@ pub fn sweep(
             let per_strategy = Strategy::ALL
                 .iter()
                 .map(|&s| {
-                    let samples: Vec<f64> =
-                        (0..cfg.reps).map(|_| *it.next().expect("grid-sized").lock()).collect();
+                    let samples: Vec<f64> = (0..cfg.reps)
+                        .map(|_| {
+                            *it.next()
+                                .expect("grid-sized")
+                                .lock()
+                                .expect("sweep cell poisoned")
+                        })
+                        .collect();
                     (s, stat(&samples))
                 })
                 .collect();

@@ -25,8 +25,7 @@ pub trait Annotator: std::fmt::Debug {
     /// Judges `label` from `object`'s evidence, or `None` when the object
     /// does not cover the label. The world is consulted at the object's
     /// sampling time.
-    fn annotate(&self, object: &EvidenceObject, label: &Label, world: &WorldModel)
-        -> Option<bool>;
+    fn annotate(&self, object: &EvidenceObject, label: &Label, world: &WorldModel) -> Option<bool>;
 }
 
 /// A perfect annotator: reads the ground truth.
@@ -34,12 +33,7 @@ pub trait Annotator: std::fmt::Debug {
 pub struct GroundTruthAnnotator;
 
 impl Annotator for GroundTruthAnnotator {
-    fn annotate(
-        &self,
-        object: &EvidenceObject,
-        label: &Label,
-        world: &WorldModel,
-    ) -> Option<bool> {
+    fn annotate(&self, object: &EvidenceObject, label: &Label, world: &WorldModel) -> Option<bool> {
         if !object.covers_label(label) {
             return None;
         }
@@ -68,12 +62,7 @@ impl NoisyAnnotator {
 }
 
 impl Annotator for NoisyAnnotator {
-    fn annotate(
-        &self,
-        object: &EvidenceObject,
-        label: &Label,
-        world: &WorldModel,
-    ) -> Option<bool> {
+    fn annotate(&self, object: &EvidenceObject, label: &Label, world: &WorldModel) -> Option<bool> {
         let truth = GroundTruthAnnotator.annotate(object, label, world)?;
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.seed.hash(&mut h);
@@ -103,12 +92,7 @@ impl BiasedSourcesAnnotator {
 }
 
 impl Annotator for BiasedSourcesAnnotator {
-    fn annotate(
-        &self,
-        object: &EvidenceObject,
-        label: &Label,
-        world: &WorldModel,
-    ) -> Option<bool> {
+    fn annotate(&self, object: &EvidenceObject, label: &Label, world: &WorldModel) -> Option<bool> {
         let truth = GroundTruthAnnotator.annotate(object, label, world)?;
         Some(if self.bad_sources.contains(&object.source) {
             !truth
@@ -123,12 +107,7 @@ impl Annotator for BiasedSourcesAnnotator {
 pub struct LyingAnnotator;
 
 impl Annotator for LyingAnnotator {
-    fn annotate(
-        &self,
-        object: &EvidenceObject,
-        label: &Label,
-        world: &WorldModel,
-    ) -> Option<bool> {
+    fn annotate(&self, object: &EvidenceObject, label: &Label, world: &WorldModel) -> Option<bool> {
         GroundTruthAnnotator
             .annotate(object, label, world)
             .map(|v| !v)
@@ -170,7 +149,12 @@ mod tests {
     fn setup() -> (WorldModel, EvidenceObject, Label) {
         let mut world = WorldModel::new(5);
         let label = Label::new("viable/x");
-        world.register(label.clone(), DynamicsClass::Fast, SimDuration::from_secs(10), 0.5);
+        world.register(
+            label.clone(),
+            DynamicsClass::Fast,
+            SimDuration::from_secs(10),
+            0.5,
+        );
         let object = EvidenceObject {
             name: "/cam/a".parse().unwrap(),
             covers: vec![label.clone()],
@@ -236,7 +220,9 @@ mod tests {
         let n = 1000;
         for k in 0..n {
             object.sampled_at = SimTime::from_secs(k);
-            let truth = GroundTruthAnnotator.annotate(&object, &label, &world).unwrap();
+            let truth = GroundTruthAnnotator
+                .annotate(&object, &label, &world)
+                .unwrap();
             let got = noisy.annotate(&object, &label, &world).unwrap();
             let again = noisy.annotate(&object, &label, &world).unwrap();
             assert_eq!(got, again, "determinism");
@@ -255,10 +241,7 @@ mod tests {
         let truth = GroundTruthAnnotator.annotate(&object, &label, &world);
         assert_eq!(biased.annotate(&object, &label, &world), truth);
         object.source = NodeId(7);
-        assert_eq!(
-            biased.annotate(&object, &label, &world),
-            truth.map(|v| !v)
-        );
+        assert_eq!(biased.annotate(&object, &label, &world), truth.map(|v| !v));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::node::{AthenaNode, NodeConfig, SharedWorld};
 use crate::query::{QueryOutcome, QueryStatus};
 use crate::strategy::Strategy;
 use dde_logic::time::{SimDuration, SimTime};
+use dde_netsim::fault::FaultSchedule;
 use dde_netsim::sim::Simulator;
 use dde_workload::scenario::Scenario;
 use std::collections::BTreeMap;
@@ -47,6 +48,13 @@ pub struct RunOptions {
     /// Extra simulated time after the last deadline before the run is cut
     /// off.
     pub drain: SimDuration,
+    /// Deterministic fault timeline, merged with whatever churn the
+    /// scenario itself schedules. An empty schedule reproduces the
+    /// fault-free run bit-for-bit.
+    pub faults: FaultSchedule,
+    /// Whether crashed nodes lose their content store and label cache on
+    /// recovery (see [`NodeConfig::crash_wipes_cache`]).
+    pub crash_wipes_cache: bool,
     /// Simulator seed (link-loss sampling).
     pub seed: u64,
 }
@@ -66,6 +74,8 @@ impl RunOptions {
             triage_threshold: None,
             medium: dde_netsim::MediumMode::FullDuplex,
             drain: SimDuration::from_secs(5),
+            faults: FaultSchedule::new(),
+            crash_wipes_cache: false,
             seed: 7,
         }
     }
@@ -87,7 +97,12 @@ pub struct QueryRecord {
 }
 
 /// Aggregated results of one run.
-#[derive(Debug, Clone)]
+///
+/// Implements full [`PartialEq`]: two reports compare equal only when every
+/// metric and every per-query record matches, which is exactly the property
+/// the determinism regression tests assert (same seed + same fault schedule
+/// ⇒ identical report).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// The strategy that ran.
     pub strategy: Strategy,
@@ -121,6 +136,14 @@ pub struct RunReport {
     pub approx_hits: u64,
     /// Background pushes dropped by utility triage (§V-B).
     pub triage_drops: u64,
+    /// Number of fault events installed for this run (0 = fault-free).
+    pub fault_events: usize,
+    /// In-flight messages dropped because a fault took down their
+    /// destination or link.
+    pub messages_dropped_by_fault: u64,
+    /// Queued (never transmitted) messages purged when their sender
+    /// crashed or their link went down.
+    pub messages_purged_by_fault: u64,
     /// Simulated time at which the run ended.
     pub finished_at: SimTime,
     /// Events processed by the simulator.
@@ -195,6 +218,7 @@ fn run_scenario_inner(
     config.criticality = options.criticality.clone();
     config.corroboration = options.corroboration;
     config.triage_threshold = options.triage_threshold;
+    config.crash_wipes_cache = options.crash_wipes_cache;
     config.prob_true_prior = scenario.config.prob_viable;
     config.planning_bandwidth_bps = scenario.config.link_bandwidth_bps;
 
@@ -213,6 +237,13 @@ fn run_scenario_inner(
         sim.enable_trace(cap);
     }
 
+    // Faults: whatever the scenario schedules (churn config) plus whatever
+    // the caller adds on top (partitions, targeted crashes). Installing an
+    // empty schedule is a strict no-op.
+    let mut faults = scenario.faults.clone();
+    faults.merge(&options.faults);
+    sim.install_faults(&faults);
+
     let mut last_deadline = SimTime::ZERO;
     for q in &scenario.queries {
         if let Some(lead) = options.announce_lead {
@@ -229,13 +260,17 @@ fn run_scenario_inner(
     sim.run_until(horizon);
 
     let trace = sim.take_trace();
-    (collect_report(&sim, scenario, options.strategy), trace)
+    (
+        collect_report(&sim, scenario, options.strategy, faults.len()),
+        trace,
+    )
 }
 
 fn collect_report(
     sim: &Simulator<AthenaNode>,
     scenario: &Scenario,
     strategy: Strategy,
+    fault_events: usize,
 ) -> RunReport {
     let mut report = RunReport {
         strategy,
@@ -246,11 +281,7 @@ fn collect_report(
         missed: 0,
         accurate: 0,
         total_bytes: sim.metrics().bytes_sent,
-        bytes_by_kind: sim
-            .metrics()
-            .kinds()
-            .map(|(k, c)| (k, c.bytes))
-            .collect(),
+        bytes_by_kind: sim.metrics().kinds().map(|(k, c)| (k, c.bytes)).collect(),
         mean_resolution_latency: None,
         cache_hits: 0,
         label_hits: 0,
@@ -258,6 +289,9 @@ fn collect_report(
         prefetch_pushes: 0,
         approx_hits: 0,
         triage_drops: 0,
+        fault_events,
+        messages_dropped_by_fault: sim.metrics().messages_dropped_by_fault,
+        messages_purged_by_fault: sim.metrics().messages_purged_by_fault,
         finished_at: sim.now(),
         events: sim.events_processed(),
         queries: Vec::with_capacity(scenario.queries.len()),
@@ -294,18 +328,18 @@ fn collect_report(
                             // Accurate iff the chosen route is truly viable
                             // at decision time.
                             let term = &q.expr.terms()[i];
-                            let truly = term
-                                .labels()
-                                .all(|l| scenario.world.value(l, at));
+                            let truly = term.labels().all(|l| scenario.world.value(l, at));
                             if truly {
                                 report.accurate += 1;
                             }
                         }
                         QueryOutcome::Infeasible => {
                             report.infeasible += 1;
-                            let truly = q.expr.terms().iter().all(|t| {
-                                t.labels().any(|l| !scenario.world.value(l, at))
-                            });
+                            let truly = q
+                                .expr
+                                .terms()
+                                .iter()
+                                .all(|t| t.labels().any(|l| !scenario.world.value(l, at)));
                             if truly {
                                 report.accurate += 1;
                             }

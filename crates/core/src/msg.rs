@@ -111,22 +111,14 @@ impl WireMessage for AthenaMsg {
     fn wire_size(&self) -> u64 {
         match self {
             AthenaMsg::QueryAnnounce { expr, .. } => {
-                let literals: u64 = expr
-                    .terms()
-                    .iter()
-                    .map(|t| t.len() as u64)
-                    .sum();
+                let literals: u64 = expr.terms().iter().map(|t| t.len() as u64).sum();
                 HEADER_BYTES + literals * LABEL_REF_BYTES
             }
             AthenaMsg::Request { name, wanted, .. } => {
                 HEADER_BYTES + name_bytes(name) + wanted.len() as u64 * LABEL_REF_BYTES
             }
-            AthenaMsg::Data { object, .. } => {
-                HEADER_BYTES + name_bytes(&object.name) + object.size
-            }
-            AthenaMsg::LabelShare { based_on, .. } => {
-                HEADER_BYTES + name_bytes(based_on) + 32
-            }
+            AthenaMsg::Data { object, .. } => HEADER_BYTES + name_bytes(&object.name) + object.size,
+            AthenaMsg::LabelShare { based_on, .. } => HEADER_BYTES + name_bytes(based_on) + 32,
         }
     }
 
@@ -170,7 +162,10 @@ mod tests {
 
     #[test]
     fn data_size_dominated_by_payload() {
-        let m = AthenaMsg::Data { object: obj(500_000), push_to: None };
+        let m = AthenaMsg::Data {
+            object: obj(500_000),
+            push_to: None,
+        };
         assert!(m.wire_size() >= 500_000);
         assert!(m.wire_size() < 500_000 + 1_000);
         assert_eq!(m.kind(), "data");
@@ -178,7 +173,10 @@ mod tests {
 
     #[test]
     fn label_share_orders_of_magnitude_smaller_than_data() {
-        let data = AthenaMsg::Data { object: obj(500_000), push_to: Some(NodeId(2)) };
+        let data = AthenaMsg::Data {
+            object: obj(500_000),
+            push_to: Some(NodeId(2)),
+        };
         let label = AthenaMsg::LabelShare {
             label: Label::new("a"),
             value: true,

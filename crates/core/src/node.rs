@@ -117,6 +117,11 @@ pub struct NodeConfig {
     /// `1 − max_similarity` against recently pushed names on that link
     /// falls below this threshold. `None` disables triage.
     pub triage_threshold: Option<f64>,
+    /// Whether a crashed node loses its content store and label cache on
+    /// recovery (RAM-backed caches) or keeps them (flash-backed caches).
+    /// Volatile forwarding state — PIT, prefetch queue, in-flight fetch
+    /// bookkeeping — is always lost.
+    pub crash_wipes_cache: bool,
 }
 
 impl NodeConfig {
@@ -137,6 +142,7 @@ impl NodeConfig {
             criticality: CriticalityMap::new(),
             corroboration: 1,
             triage_threshold: None,
+            crash_wipes_cache: false,
         }
     }
 
@@ -248,7 +254,10 @@ pub struct AthenaNode {
 
 impl AthenaNode {
     /// Creates a node.
-    pub fn new(shared: Arc<SharedWorld>, annotator: Arc<dyn Annotator + Send + Sync>) -> AthenaNode {
+    pub fn new(
+        shared: Arc<SharedWorld>,
+        annotator: Arc<dyn Annotator + Send + Sync>,
+    ) -> AthenaNode {
         let cache_capacity = shared.config.cache_capacity;
         AthenaNode {
             shared,
@@ -328,10 +337,7 @@ impl AthenaNode {
 
     fn has_pending_work(&self, now: SimTime) -> bool {
         let queries_pending = self.queries.values().any(|q| !q.status.is_final());
-        let prefetch_pending = self
-            .prefetch_queue
-            .iter()
-            .any(|t| t.deadline_at > now);
+        let prefetch_pending = self.prefetch_queue.iter().any(|t| t.deadline_at > now);
         queries_pending || prefetch_pending
     }
 
@@ -376,10 +382,7 @@ impl AthenaNode {
         }
         let k = self.shared.config.corroboration.max(1);
         for (qid, label) in wanted {
-            let Some(value) = self
-                .annotator
-                .annotate(object, &label, &self.shared.world)
-            else {
+            let Some(value) = self.annotator.annotate(object, &label, &self.shared.world) else {
                 continue;
             };
             if k == 1 {
@@ -396,10 +399,7 @@ impl AthenaNode {
             }
             // Corroboration: collect votes from distinct evidence *sources*.
             let entry = self.votes.entry((qid, label.clone())).or_default();
-            entry.insert(
-                object.source,
-                (value, object.sampled_at, object.validity),
-            );
+            entry.insert(object.source, (value, object.sampled_at, object.validity));
             let source_count = {
                 let mut sources: Vec<NodeId> = self
                     .shared
@@ -575,9 +575,7 @@ impl AthenaNode {
             if q.status.is_final() {
                 continue;
             }
-            if self.plans[qid].1.contains(label)
-                && !q.assignment.value_at(label, now).is_known()
-            {
+            if self.plans[qid].1.contains(label) && !q.assignment.value_at(label, now).is_known() {
                 q.record_label(label, value, sampled_at, validity);
                 q.counters.labels_from_shares += 1;
             }
@@ -682,8 +680,7 @@ impl AthenaNode {
                         if self.label_usable(c, now)
                             && self.shared.config.trust.accepts(c.annotator)
                         {
-                            let (value, sampled_at, validity) =
-                                (c.value, c.sampled_at, c.validity);
+                            let (value, sampled_at, validity) = (c.value, c.sampled_at, c.validity);
                             let q = self.queries.get_mut(&qid).expect("query exists");
                             q.record_label(&label, value, sampled_at, validity);
                             q.counters.labels_from_shares += 1;
@@ -736,6 +733,14 @@ impl AthenaNode {
                 if !wanted.contains(&label) {
                     wanted.push(label.clone());
                 }
+                // The selected source may be unreachable right now (crashed
+                // or partitioned away, with no alternate provider). Don't
+                // register an interest or pretend a fetch is in flight:
+                // leave the query pending so every tick re-plans until a
+                // route exists again, then send immediately on recovery.
+                let Some(hop) = ctx.next_hop_toward(spec.source) else {
+                    break;
+                };
                 let first = self.pit.register(
                     &spec.name,
                     Requester::Local,
@@ -750,18 +755,16 @@ impl AthenaNode {
                 });
                 q.counters.requests_sent += 1;
                 if first {
-                    if let Some(hop) = ctx.next_hop_toward(spec.source) {
-                        ctx.send(
-                            hop,
-                            AthenaMsg::Request {
-                                name: spec.name.clone(),
-                                wanted,
-                                qid,
-                                origin: me,
-                                kind: RequestKind::Fetch,
-                            },
-                        );
-                    }
+                    ctx.send(
+                        hop,
+                        AthenaMsg::Request {
+                            name: spec.name.clone(),
+                            wanted,
+                            qid,
+                            origin: me,
+                            kind: RequestKind::Fetch,
+                        },
+                    );
                 }
                 break;
             }
@@ -855,8 +858,7 @@ impl AthenaNode {
                 .iter()
                 .filter(|l| {
                     self.labels.get(*l).is_some_and(|c| {
-                        self.label_usable(c, now)
-                            && self.shared.config.trust.accepts(c.annotator)
+                        self.label_usable(c, now) && self.shared.config.trust.accepts(c.annotator)
                     })
                 })
                 .cloned()
@@ -889,7 +891,13 @@ impl AthenaNode {
             if stored.expires_at() >= now + headroom {
                 let object = stored.value.clone();
                 self.stats.cache_hits += 1;
-                ctx.send(from, AthenaMsg::Data { object, push_to: None });
+                ctx.send(
+                    from,
+                    AthenaMsg::Data {
+                        object,
+                        push_to: None,
+                    },
+                );
                 return;
             }
         }
@@ -899,7 +907,8 @@ impl AthenaNode {
         if let Some(min_shared) = self.shared.config.approx_min_shared {
             if self.shared.config.criticality.classify(&name) != Criticality::Critical {
                 if let Some((_, stored)) =
-                    self.content.closest_fresh(&name, now + headroom, min_shared)
+                    self.content
+                        .closest_fresh(&name, now + headroom, min_shared)
                 {
                     // The name-similarity proxy is checked against ground
                     // truth coverage so a bad namespace design cannot send
@@ -907,7 +916,13 @@ impl AthenaNode {
                     if wanted.iter().all(|l| stored.value.covers_label(l)) {
                         let object = stored.value.clone();
                         self.stats.approx_hits += 1;
-                        ctx.send(from, AthenaMsg::Data { object, push_to: None });
+                        ctx.send(
+                            from,
+                            AthenaMsg::Data {
+                                object,
+                                push_to: None,
+                            },
+                        );
                         return;
                     }
                 }
@@ -935,7 +950,13 @@ impl AthenaNode {
                 object.sampled_at,
                 object.validity,
             );
-            ctx.send(from, AthenaMsg::Data { object, push_to: None });
+            ctx.send(
+                from,
+                AthenaMsg::Data {
+                    object,
+                    push_to: None,
+                },
+            );
             return;
         }
         // Prefetch requests are not forwarded (§VI-B).
@@ -1109,7 +1130,9 @@ impl AthenaNode {
     ) {
         let now = ctx.now();
         let me = ctx.node();
-        self.apply_shared_label(&label, value, sampled_at, validity, annotator, &based_on, now);
+        self.apply_shared_label(
+            &label, value, sampled_at, validity, annotator, &based_on, now,
+        );
 
         // Serve pending interests that wanted an object *for this label*.
         if self.shared.config.trust.accepts(annotator) {
@@ -1301,11 +1324,11 @@ impl Protocol for AthenaNode {
         debug_assert_eq!(inst.origin, me, "query delivered to wrong node");
         let qid = QueryId(inst.id);
         let labels = inst.expr.labels();
-        let candidates = self
-            .shared
-            .config
-            .strategy
-            .candidates(&labels, self.catalog(), me, ctx.topology());
+        let candidates =
+            self.shared
+                .config
+                .strategy
+                .candidates(&labels, self.catalog(), me, ctx.topology());
         let state = QueryState::new(qid, inst.expr.clone(), now, inst.deadline);
         let deadline_at = state.deadline_at;
         self.queries.insert(qid, state);
@@ -1342,8 +1365,11 @@ impl Protocol for AthenaNode {
                 }
                 self.stats.announces_relayed += 1;
                 let me = ctx.node();
-                let neighbors: Vec<NodeId> =
-                    ctx.topology().neighbors(me).filter(|n| *n != from).collect();
+                let neighbors: Vec<NodeId> = ctx
+                    .topology()
+                    .neighbors(me)
+                    .filter(|n| *n != from)
+                    .collect();
                 for nb in neighbors {
                     ctx.send(
                         nb,
@@ -1357,11 +1383,12 @@ impl Protocol for AthenaNode {
                 }
                 if self.shared.config.prefetch_enabled() && ctx.now() < deadline_at {
                     let labels = expr.labels();
-                    let candidates = self
-                        .shared
-                        .config
-                        .strategy
-                        .candidates(&labels, self.catalog(), origin, ctx.topology());
+                    let candidates = self.shared.config.strategy.candidates(
+                        &labels,
+                        self.catalog(),
+                        origin,
+                        ctx.topology(),
+                    );
                     for idx in candidates {
                         if self.catalog().get(idx).source == me {
                             self.prefetch_queue.push_back(PushTask {
@@ -1401,6 +1428,52 @@ impl Protocol for AthenaNode {
                 );
             }
         }
+    }
+
+    /// Crash recovery (fault injection): volatile forwarding state is gone;
+    /// caches survive or not per [`NodeConfig::crash_wipes_cache`]. Open
+    /// queries restart their retrieval loop — the in-flight fetch is
+    /// forgotten (its reply, if any, was dropped while we were down),
+    /// deadline timers are re-armed (timers that fired during the outage
+    /// were swallowed), and the decision structure is re-announced so
+    /// sources can resume prefetching.
+    fn on_recover(&mut self, ctx: &mut Context<'_, AthenaMsg>) {
+        let now = ctx.now();
+        let me = ctx.node();
+        self.pit = Pit::new();
+        self.prefetch_queue.clear();
+        self.recent_pushes.clear();
+        self.recent_bg.clear();
+        self.votes.clear();
+        self.tick_armed = false;
+        if self.shared.config.crash_wipes_cache {
+            self.content = ContentStore::new(self.shared.config.cache_capacity);
+            self.labels.clear();
+        }
+        let mut reopen: Vec<(QueryId, dde_logic::dnf::Dnf, SimTime)> = Vec::new();
+        for (qid, q) in self.queries.iter_mut() {
+            if q.check(now).is_final() {
+                continue;
+            }
+            q.outstanding = None;
+            reopen.push((*qid, q.expr.clone(), q.deadline_at));
+        }
+        let neighbors: Vec<NodeId> = ctx.topology().neighbors(me).collect();
+        for (qid, expr, deadline_at) in reopen {
+            for nb in &neighbors {
+                ctx.send(
+                    *nb,
+                    AthenaMsg::QueryAnnounce {
+                        qid,
+                        origin: me,
+                        expr: expr.clone(),
+                        deadline_at,
+                    },
+                );
+            }
+            ctx.set_timer_at(deadline_at, qid.0 + 1);
+        }
+        self.advance_queries(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, AthenaMsg>, tag: u64) {
@@ -1492,7 +1565,10 @@ mod tests {
         sim.run();
         let node = sim.node(NodeId(3));
         let q = node.queries().next().unwrap();
-        assert!(matches!(q.status, crate::query::QueryStatus::Decided { .. }));
+        assert!(matches!(
+            q.status,
+            crate::query::QueryStatus::Decided { .. }
+        ));
         assert_eq!(q.counters.requests_sent, 0, "co-located evidence is free");
         assert!(node.stats.local_samples >= 1);
         assert_eq!(sim.metrics().kind("data").count, 0);
@@ -1504,7 +1580,10 @@ mod tests {
         sim.schedule_external(SimTime::ZERO, NodeId(0), query(0, 0, &["x"]).into());
         sim.run();
         let q = sim.node(NodeId(0)).queries().next().unwrap();
-        assert!(matches!(q.status, crate::query::QueryStatus::Decided { .. }));
+        assert!(matches!(
+            q.status,
+            crate::query::QueryStatus::Decided { .. }
+        ));
         // Data crossed both hops: the forwarder relayed it.
         assert!(sim.node(NodeId(1)).stats.requests_forwarded >= 1);
         assert!(sim.node(NodeId(1)).stats.data_forwarded >= 1);
@@ -1522,10 +1601,17 @@ mod tests {
         sim.schedule_external(SimTime::ZERO, NodeId(0), query(0, 0, &["x"]).into());
         // Leaf 2 asks later for the same label; the hub cached the transit
         // copy of the first fetch and answers directly.
-        sim.schedule_external(SimTime::from_secs(20), NodeId(2), query(1, 2, &["x"]).into());
+        sim.schedule_external(
+            SimTime::from_secs(20),
+            NodeId(2),
+            query(1, 2, &["x"]).into(),
+        );
         sim.run();
         let q1 = sim.node(NodeId(2)).queries().next().unwrap();
-        assert!(matches!(q1.status, crate::query::QueryStatus::Decided { .. }));
+        assert!(matches!(
+            q1.status,
+            crate::query::QueryStatus::Decided { .. }
+        ));
         assert!(sim.node(NodeId(1)).stats.cache_hits >= 1);
         // First fetch: 3→1, 1→0. Second: 1→2 from cache. Three data sends.
         assert_eq!(sim.metrics().kind("data").count, 3);
@@ -1541,7 +1627,10 @@ mod tests {
         sim.run();
         for n in [0usize, 2] {
             let q = sim.node(NodeId(n)).queries().next().unwrap();
-            assert!(matches!(q.status, crate::query::QueryStatus::Decided { .. }));
+            assert!(matches!(
+                q.status,
+                crate::query::QueryStatus::Decided { .. }
+            ));
         }
         // The source transmitted once (3→1); the hub fanned out to both
         // leaves: 3 data transmissions total, not 4.
@@ -1555,10 +1644,17 @@ mod tests {
         // source; the hub caches it in transit.
         sim.schedule_external(SimTime::ZERO, NodeId(2), query(0, 2, &["x"]).into());
         // Leaf 0 asks later; its request stops at the hub's cached label.
-        sim.schedule_external(SimTime::from_secs(30), NodeId(0), query(1, 0, &["x"]).into());
+        sim.schedule_external(
+            SimTime::from_secs(30),
+            NodeId(0),
+            query(1, 0, &["x"]).into(),
+        );
         sim.run();
         let q1 = sim.node(NodeId(0)).queries().next().unwrap();
-        assert!(matches!(q1.status, crate::query::QueryStatus::Decided { .. }));
+        assert!(matches!(
+            q1.status,
+            crate::query::QueryStatus::Decided { .. }
+        ));
         assert!(
             sim.node(NodeId(1)).stats.label_hits >= 1,
             "the hub should answer with its cached label"
@@ -1582,7 +1678,11 @@ mod tests {
         config.serve_headroom = SimDuration::from_secs(1_000_000); // absurd
         let (mut sim, _) = harness(config);
         sim.schedule_external(SimTime::ZERO, NodeId(0), query(0, 0, &["x"]).into());
-        sim.schedule_external(SimTime::from_secs(20), NodeId(2), query(1, 2, &["x"]).into());
+        sim.schedule_external(
+            SimTime::from_secs(20),
+            NodeId(2),
+            query(1, 2, &["x"]).into(),
+        );
         sim.run();
         assert_eq!(sim.metrics().kind("data").count, 4);
         assert_eq!(sim.node(NodeId(1)).stats.cache_hits, 0);
@@ -1596,7 +1696,10 @@ mod tests {
         sim.schedule_external(SimTime::ZERO, NodeId(0), query(0, 0, &["x", "y"]).into());
         sim.run();
         let q = sim.node(NodeId(0)).queries().next().unwrap();
-        assert!(matches!(q.status, crate::query::QueryStatus::Decided { .. }));
+        assert!(matches!(
+            q.status,
+            crate::query::QueryStatus::Decided { .. }
+        ));
         assert_eq!(
             q.counters.requests_sent, 1,
             "one wide fetch should resolve both labels"

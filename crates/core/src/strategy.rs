@@ -19,10 +19,10 @@ use dde_logic::label::Label;
 use dde_logic::meta::{Cost, Probability};
 use dde_logic::time::SimTime;
 
+use dde_netsim::topology::{NodeId, Topology};
 use dde_sched::hybrid::greedy_validity_shortcircuit;
 use dde_sched::item::{Channel, RetrievalItem};
 use dde_sched::shortcircuit::{and_truth_prob, expected_and_cost};
-use dde_netsim::topology::{NodeId, Topology};
 use dde_workload::catalog::Catalog;
 use std::collections::BTreeSet;
 
@@ -95,6 +95,20 @@ impl Strategy {
         spec.size.saturating_mul(hops)
     }
 
+    /// Whether object `idx`'s source is currently reachable from `origin`.
+    /// Routing is fault-aware, so a crashed source or a partitioned segment
+    /// shows up here; on a healthy connected topology everything is
+    /// reachable and reachability-preferring selection is a no-op.
+    pub fn is_reachable(
+        idx: usize,
+        catalog: &Catalog,
+        origin: NodeId,
+        topology: &Topology,
+    ) -> bool {
+        let source = catalog.get(idx).source;
+        source == origin || topology.hop_distance(origin, source).is_some()
+    }
+
     /// The candidate object set (catalog indices, ascending) for a query
     /// over `labels`, issued at `origin`. Source-selected strategies cover
     /// the labels at minimum *network* cost (size × hops), so nearby
@@ -159,7 +173,7 @@ impl Strategy {
                 query, candidates, catalog, origin, topology, now, channel, prob_true,
             )
         } else {
-            self.next_baseline(query, candidates, catalog, now)
+            self.next_baseline(query, candidates, catalog, origin, topology, now)
         }
     }
 
@@ -168,6 +182,8 @@ impl Strategy {
         query: &QueryState,
         candidates: &[usize],
         catalog: &Catalog,
+        origin: NodeId,
+        topology: &Topology,
         now: SimTime,
     ) -> Option<(usize, Label)> {
         let unknown = query.unknown_labels(now);
@@ -178,6 +194,9 @@ impl Strategy {
         if self == Strategy::LowestCostFirst {
             order.sort_by_key(|&i| (catalog.get(i).size, i));
         }
+        // Under faults, prefer providers we can actually route to; a stable
+        // partition keeps the original order when everything is reachable.
+        order.sort_by_key(|&i| !Self::is_reachable(i, catalog, origin, topology));
         for idx in order {
             let spec = catalog.get(idx);
             if let Some(label) = spec.covers.iter().find(|l| unknown.contains(*l)) {
@@ -203,13 +222,28 @@ impl Strategy {
         if relevant.is_empty() {
             return None;
         }
-        // Cheapest (by network cost) candidate provider per relevant label.
+        // Cheapest (by network cost) candidate provider per relevant label,
+        // preferring sources that are currently reachable: when a fault has
+        // cut off a provider, an alternate (reachable) source is selected
+        // instead; only when *no* provider is reachable does the original
+        // choice stand (the fetch then stalls until routes heal or the
+        // deadline passes).
         let provider = |label: &Label| -> Option<usize> {
-            candidates
+            let covering: Vec<usize> = candidates
                 .iter()
                 .copied()
                 .filter(|&i| catalog.get(i).covers.iter().any(|l| l == label))
+                .collect();
+            covering
+                .iter()
+                .copied()
+                .filter(|&i| Self::is_reachable(i, catalog, origin, topology))
                 .min_by_key(|&i| (Self::effective_cost(i, catalog, origin, topology), i))
+                .or_else(|| {
+                    covering
+                        .into_iter()
+                        .min_by_key(|&i| (Self::effective_cost(i, catalog, origin, topology), i))
+                })
         };
 
         // Rank live terms by expected truth per expected cost over their
@@ -264,8 +298,7 @@ impl Strategy {
                     (idx, labels[0].clone(), item)
                 })
                 .collect();
-            let items: Vec<RetrievalItem> =
-                entries.iter().map(|(_, _, it)| it.clone()).collect();
+            let items: Vec<RetrievalItem> = entries.iter().map(|(_, _, it)| it.clone()).collect();
             let p = and_truth_prob(&items);
             let e = expected_and_cost(&items).max(1.0);
             let ratio = p / e;
@@ -293,7 +326,8 @@ impl Strategy {
 
     /// Whether a strategy performs short-circuit pruning: used by tests.
     pub fn prunes(self, query: &QueryState, now: SimTime) -> bool {
-        self.is_decision_driven() && query.relevant_labels(now).len() < query.unknown_labels(now).len()
+        self.is_decision_driven()
+            && query.relevant_labels(now).len() < query.unknown_labels(now).len()
     }
 }
 
@@ -417,15 +451,38 @@ mod tests {
         let mut q = query(Dnf::from_terms(vec![Term::all_of(["a", "b"])]));
         let cands = Strategy::LowestCostFirst.candidates(&labels(&q), &c, NodeId(0), &topo());
         let (idx, label) = Strategy::LowestCostFirst
-            .next_request(&q, &cands, &c, NodeId(0), &topo(), SimTime::ZERO, Channel::mbps1(), 0.8)
+            .next_request(
+                &q,
+                &cands,
+                &c,
+                NodeId(0),
+                &topo(),
+                SimTime::ZERO,
+                Channel::mbps1(),
+                0.8,
+            )
             .unwrap();
         // Cheapest candidate first: /cam/a2 (200 KB).
         assert_eq!(idx, 1);
         assert_eq!(label.as_str(), "a");
         // Once `a` is known, moves on to `b`.
-        q.record_label(&Label::new("a"), true, SimTime::ZERO, SimDuration::from_secs(600));
+        q.record_label(
+            &Label::new("a"),
+            true,
+            SimTime::ZERO,
+            SimDuration::from_secs(600),
+        );
         let (idx, label) = Strategy::LowestCostFirst
-            .next_request(&q, &cands, &c, NodeId(0), &topo(), SimTime::from_secs(1), Channel::mbps1(), 0.8)
+            .next_request(
+                &q,
+                &cands,
+                &c,
+                NodeId(0),
+                &topo(),
+                SimTime::from_secs(1),
+                Channel::mbps1(),
+                0.8,
+            )
             .unwrap();
         assert_eq!(idx, 2);
         assert_eq!(label.as_str(), "b");
@@ -440,11 +497,25 @@ mod tests {
             Term::all_of(["a", "b"]),
             Term::all_of(["c", "d"]),
         ]));
-        q.record_label(&Label::new("a"), false, SimTime::ZERO, SimDuration::from_secs(600));
+        q.record_label(
+            &Label::new("a"),
+            false,
+            SimTime::ZERO,
+            SimDuration::from_secs(600),
+        );
         let now = SimTime::from_secs(1);
         let cands = Strategy::Comprehensive.candidates(&labels(&q), &c, NodeId(0), &topo());
         let (idx, _) = Strategy::Comprehensive
-            .next_request(&q, &cands, &c, NodeId(0), &topo(), now, Channel::mbps1(), 0.8)
+            .next_request(
+                &q,
+                &cands,
+                &c,
+                NodeId(0),
+                &topo(),
+                now,
+                Channel::mbps1(),
+                0.8,
+            )
             .unwrap();
         // First candidate in catalog order covering an unknown: /cam/b.
         assert_eq!(idx, 2);
@@ -459,11 +530,25 @@ mod tests {
             Term::all_of(["a", "b"]),
             Term::all_of(["c", "d"]),
         ]));
-        q.record_label(&Label::new("a"), false, SimTime::ZERO, SimDuration::from_secs(600));
+        q.record_label(
+            &Label::new("a"),
+            false,
+            SimTime::ZERO,
+            SimDuration::from_secs(600),
+        );
         let now = SimTime::from_secs(1);
         let cands = Strategy::Lvf.candidates(&labels(&q), &c, NodeId(0), &topo());
         let (_, label) = Strategy::Lvf
-            .next_request(&q, &cands, &c, NodeId(0), &topo(), now, Channel::mbps1(), 0.8)
+            .next_request(
+                &q,
+                &cands,
+                &c,
+                NodeId(0),
+                &topo(),
+                now,
+                Channel::mbps1(),
+                0.8,
+            )
             .unwrap();
         // b is irrelevant; must pick from {c, d}.
         assert!(label.as_str() == "c" || label.as_str() == "d");
@@ -477,7 +562,16 @@ mod tests {
         let q = query(Dnf::from_terms(vec![Term::all_of(["a", "b"])]));
         let cands = Strategy::Lvf.candidates(&labels(&q), &c, NodeId(0), &topo());
         let (_, label) = Strategy::Lvf
-            .next_request(&q, &cands, &c, NodeId(0), &topo(), SimTime::ZERO, Channel::mbps1(), 0.8)
+            .next_request(
+                &q,
+                &cands,
+                &c,
+                NodeId(0),
+                &topo(),
+                SimTime::ZERO,
+                Channel::mbps1(),
+                0.8,
+            )
             .unwrap();
         assert_eq!(label.as_str(), "a", "stable label should be fetched first");
     }
@@ -493,21 +587,48 @@ mod tests {
         ]));
         let cands = Strategy::Lvf.candidates(&labels(&q), &c, NodeId(0), &topo());
         let (idx, _) = Strategy::Lvf
-            .next_request(&q, &cands, &c, NodeId(0), &topo(), SimTime::ZERO, Channel::mbps1(), 0.8)
+            .next_request(
+                &q,
+                &cands,
+                &c,
+                NodeId(0),
+                &topo(),
+                SimTime::ZERO,
+                Channel::mbps1(),
+                0.8,
+            )
             .unwrap();
-        assert_eq!(idx, 3, "should start on the cheaper second term via panorama");
+        assert_eq!(
+            idx, 3,
+            "should start on the cheaper second term via panorama"
+        );
     }
 
     #[test]
     fn no_request_once_decided_labels_known() {
         let c = catalog();
         let mut q = query(Dnf::from_terms(vec![Term::all_of(["a"])]));
-        q.record_label(&Label::new("a"), true, SimTime::ZERO, SimDuration::from_secs(600));
+        q.record_label(
+            &Label::new("a"),
+            true,
+            SimTime::ZERO,
+            SimDuration::from_secs(600),
+        );
         let now = SimTime::from_secs(1);
         for s in Strategy::ALL {
             let cands = s.candidates(&labels(&q), &c, NodeId(0), &topo());
             assert!(
-                s.next_request(&q, &cands, &c, NodeId(0), &topo(), now, Channel::mbps1(), 0.8).is_none(),
+                s.next_request(
+                    &q,
+                    &cands,
+                    &c,
+                    NodeId(0),
+                    &topo(),
+                    now,
+                    Channel::mbps1(),
+                    0.8
+                )
+                .is_none(),
                 "{s} should have nothing to fetch"
             );
         }
@@ -524,7 +645,16 @@ mod tests {
         ]));
         let cands = Strategy::Lvf.candidates(&labels(&q), &c, NodeId(0), &topo());
         let (idx, label) = Strategy::Lvf
-            .next_request(&q, &cands, &c, NodeId(0), &topo(), SimTime::ZERO, Channel::mbps1(), 0.8)
+            .next_request(
+                &q,
+                &cands,
+                &c,
+                NodeId(0),
+                &topo(),
+                SimTime::ZERO,
+                Channel::mbps1(),
+                0.8,
+            )
             .unwrap();
         assert_eq!(idx, 0);
         assert_eq!(label.as_str(), "c");

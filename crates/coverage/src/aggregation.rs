@@ -80,16 +80,10 @@ pub struct AggregationPrice {
 }
 
 /// Quantifies the price of aggregation on one instance.
-pub fn aggregation_price<Id>(
-    needed: &BTreeSet<Label>,
-    sources: &[Source<Id>],
-) -> AggregationPrice {
+pub fn aggregation_price<Id>(needed: &BTreeSet<Label>, sources: &[Source<Id>]) -> AggregationPrice {
     let set_aware = greedy_cover(needed, sources);
     let aggregate = aggregate_select(needed, sources);
-    let misses = aggregate
-        .uncovered
-        .difference(&set_aware.uncovered)
-        .count();
+    let misses = aggregate.uncovered.difference(&set_aware.uncovered).count();
     let ratio = if set_aware.cost.as_bytes() == 0 {
         if aggregate.cost.as_bytes() == 0 {
             1.0

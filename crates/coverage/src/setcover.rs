@@ -71,8 +71,7 @@ pub fn greedy_cover<Id>(needed: &BTreeSet<Label>, sources: &[Source<Id>]) -> Cov
         .filter(|l| needed.contains(*l))
         .cloned()
         .collect();
-    let uncovered_forever: BTreeSet<Label> =
-        needed.difference(&coverable).cloned().collect();
+    let uncovered_forever: BTreeSet<Label> = needed.difference(&coverable).cloned().collect();
 
     let mut remaining: BTreeSet<Label> = coverable;
     let mut chosen = Vec::new();
@@ -132,8 +131,7 @@ pub fn exact_cover<Id>(needed: &BTreeSet<Label>, sources: &[Source<Id>]) -> Cove
         .filter(|l| needed.contains(*l))
         .cloned()
         .collect();
-    let uncovered_forever: BTreeSet<Label> =
-        needed.difference(&coverable).cloned().collect();
+    let uncovered_forever: BTreeSet<Label> = needed.difference(&coverable).cloned().collect();
 
     // Bitmask over coverable labels.
     let label_ids: BTreeMap<&Label, u32> = coverable
@@ -230,10 +228,7 @@ pub fn exact_cover<Id>(needed: &BTreeSet<Label>, sources: &[Source<Id>]) -> Cove
 
     Cover {
         chosen: best_set.clone(),
-        cost: best_set
-            .iter()
-            .map(|&i| sources[i].cost)
-            .sum(),
+        cost: best_set.iter().map(|&i| sources[i].cost).sum(),
         uncovered: uncovered_forever,
     }
 }
@@ -317,14 +312,14 @@ mod tests {
         let needed = labels(["x", "y", "z", "w"]);
         let sources = vec![
             src(0, &["x", "y", "z", "w"], 13),
-            src(1, &["x", "y"], 6),   // ratio 3
-            src(2, &["z", "w"], 6),   // ratio 3
+            src(1, &["x", "y"], 6), // ratio 3
+            src(2, &["z", "w"], 6), // ratio 3
         ];
         let greedy = greedy_cover(&needed, &sources);
         let exact = exact_cover(&needed, &sources);
         assert_eq!(greedy.cost, Cost::from_bytes(12));
         assert_eq!(exact.cost, Cost::from_bytes(12)); // exact also prefers 12 here
-        // Make greedy actually lose:
+                                                      // Make greedy actually lose:
         let sources2 = vec![
             src(0, &["x", "y", "z", "w"], 10),
             src(1, &["x", "y", "z"], 6), // ratio 2 < 2.5 → greedy takes it

@@ -393,7 +393,12 @@ mod tests {
     use crate::time::SimDuration;
 
     fn set(asg: &mut Assignment, name: &str, v: bool) {
-        asg.set(Label::new(name), Truth::from(v), SimTime::ZERO, SimDuration::MAX);
+        asg.set(
+            Label::new(name),
+            Truth::from(v),
+            SimTime::ZERO,
+            SimDuration::MAX,
+        );
     }
 
     fn route_query() -> Dnf {
@@ -549,9 +554,15 @@ mod tests {
             SimTime::ZERO,
             SimDuration::from_secs(1),
         );
-        assert_eq!(q.resolution(&asg, SimTime::from_millis(500)), Resolution::Viable(0));
+        assert_eq!(
+            q.resolution(&asg, SimTime::from_millis(500)),
+            Resolution::Viable(0)
+        );
         // After expiry, the evidence no longer supports the decision.
-        assert_eq!(q.resolution(&asg, SimTime::from_secs(2)), Resolution::Undecided);
+        assert_eq!(
+            q.resolution(&asg, SimTime::from_secs(2)),
+            Resolution::Undecided
+        );
     }
 
     #[test]

@@ -300,7 +300,10 @@ mod tests {
     fn eval_basic_connectives() {
         let e = Expr::and(vec![Expr::label("a"), Expr::label("b")]);
         assert_eq!(
-            e.eval_at(&asg(&[("a", Truth::True), ("b", Truth::True)]), SimTime::ZERO),
+            e.eval_at(
+                &asg(&[("a", Truth::True), ("b", Truth::True)]),
+                SimTime::ZERO
+            ),
             Truth::True
         );
         assert_eq!(
@@ -377,16 +380,8 @@ mod tests {
     fn to_dnf_route_query() {
         // (a & b & c) | (d & e & f) is already DNF.
         let e = Expr::or(vec![
-            Expr::and(vec![
-                Expr::label("a"),
-                Expr::label("b"),
-                Expr::label("c"),
-            ]),
-            Expr::and(vec![
-                Expr::label("d"),
-                Expr::label("e"),
-                Expr::label("f"),
-            ]),
+            Expr::and(vec![Expr::label("a"), Expr::label("b"), Expr::label("c")]),
+            Expr::and(vec![Expr::label("d"), Expr::label("e"), Expr::label("f")]),
         ]);
         let dnf = e.to_dnf(64).unwrap();
         assert_eq!(dnf.terms().len(), 2);

@@ -290,7 +290,10 @@ mod tests {
         assert_eq!(asg.value_at(&a, SimTime::from_secs(2)), Truth::False);
         assert_eq!(asg.value_at(&a, SimTime::from_secs(4)), Truth::Unknown);
         assert_eq!(asg.value_ignoring_freshness(&a), Truth::False);
-        assert_eq!(asg.value_at(&Label::new("missing"), SimTime::ZERO), Truth::Unknown);
+        assert_eq!(
+            asg.value_at(&Label::new("missing"), SimTime::ZERO),
+            Truth::Unknown
+        );
     }
 
     #[test]
@@ -341,7 +344,12 @@ mod tests {
     fn clear_removes_entry() {
         let mut asg = Assignment::new();
         let a = Label::new("a");
-        asg.set(a.clone(), Truth::True, SimTime::ZERO, SimDuration::from_secs(1));
+        asg.set(
+            a.clone(),
+            Truth::True,
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        );
         assert!(asg.clear(&a).is_some());
         assert!(asg.clear(&a).is_none());
     }

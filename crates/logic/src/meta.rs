@@ -313,7 +313,12 @@ mod tests {
                 .sum::<Cost>(),
             Cost::from_bytes(3)
         );
-        assert_eq!(Cost::from_bytes(u64::MAX).saturating_add(Cost::from_bytes(1)).as_bytes(), u64::MAX);
+        assert_eq!(
+            Cost::from_bytes(u64::MAX)
+                .saturating_add(Cost::from_bytes(1))
+                .as_bytes(),
+            u64::MAX
+        );
         assert_eq!(Cost::from_bytes(7).to_string(), "7B");
     }
 

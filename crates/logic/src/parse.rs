@@ -252,8 +252,18 @@ mod tests {
     fn parsed_expression_evaluates() {
         let e = parse_expr("(a & !b) | c").unwrap();
         let mut asg = Assignment::new();
-        asg.set(crate::label::Label::new("a"), Truth::True, SimTime::ZERO, SimDuration::MAX);
-        asg.set(crate::label::Label::new("b"), Truth::False, SimTime::ZERO, SimDuration::MAX);
+        asg.set(
+            crate::label::Label::new("a"),
+            Truth::True,
+            SimTime::ZERO,
+            SimDuration::MAX,
+        );
+        asg.set(
+            crate::label::Label::new("b"),
+            Truth::False,
+            SimTime::ZERO,
+            SimDuration::MAX,
+        );
         assert_eq!(e.eval_at(&asg, SimTime::ZERO), Truth::True);
     }
 

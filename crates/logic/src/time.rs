@@ -123,7 +123,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "invalid duration in seconds: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "invalid duration in seconds: {s}"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 
@@ -278,8 +281,13 @@ mod tests {
             SimTime::ZERO.saturating_since(SimTime::from_secs(1)),
             SimDuration::ZERO
         );
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
-        assert!(SimTime::MAX.checked_add(SimDuration::from_micros(1)).is_none());
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_micros(1))
+            .is_none());
     }
 
     #[test]

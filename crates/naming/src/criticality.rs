@@ -126,7 +126,10 @@ mod tests {
         let mut map = CriticalityMap::new();
         map.assign(&n("/city"), Criticality::Elevated);
         map.assign(&n("/city/hospital"), Criticality::Critical);
-        assert_eq!(map.classify(&n("/city/hospital/icu")), Criticality::Critical);
+        assert_eq!(
+            map.classify(&n("/city/hospital/icu")),
+            Criticality::Critical
+        );
         assert_eq!(map.classify(&n("/city/park")), Criticality::Elevated);
         assert_eq!(map.classify(&n("/rural")), Criticality::Routine);
         assert_eq!(map.len(), 2);

@@ -96,13 +96,7 @@ where
     /// pending interest for the name — i.e. the request should be forwarded
     /// downstream; further interests are aggregated ("avoid passing along
     /// unnecessary duplicate data object requests", §VI-B).
-    pub fn register(
-        &mut self,
-        name: &Name,
-        requester: N,
-        query: Q,
-        expires_at: SimTime,
-    ) -> bool {
+    pub fn register(&mut self, name: &Name, requester: N, query: Q, expires_at: SimTime) -> bool {
         let interest = Interest {
             requester,
             query,

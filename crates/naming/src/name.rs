@@ -95,8 +95,7 @@ impl Name {
 
     /// Whether `prefix` is a (non-strict) prefix of this name.
     pub fn starts_with(&self, prefix: &Name) -> bool {
-        prefix.len() <= self.len()
-            && self.components[..prefix.len()] == prefix.components[..]
+        prefix.len() <= self.len() && self.components[..prefix.len()] == prefix.components[..]
     }
 
     /// The name extended by one component.

@@ -276,7 +276,10 @@ mod tests {
         // Touch /old so /newer becomes LRU.
         cs.get_fresh(&n("/old"), t(20));
         assert!(cs.insert(&n("/third"), 3, 150, t(30), d(1000)));
-        assert!(cs.peek(&n("/newer")).is_none(), "LRU victim should be /newer");
+        assert!(
+            cs.peek(&n("/newer")).is_none(),
+            "LRU victim should be /newer"
+        );
         assert!(cs.peek(&n("/old")).is_some());
     }
 

@@ -260,7 +260,9 @@ mod tests {
         let mut t = NameTree::new();
         t.insert(&n("/city"), "coarse");
         t.insert(&n("/city/market/south"), "fine");
-        let (p, v) = t.longest_prefix(&n("/city/market/south/noon/cam1")).unwrap();
+        let (p, v) = t
+            .longest_prefix(&n("/city/market/south/noon/cam1"))
+            .unwrap();
         assert_eq!(p, n("/city/market/south"));
         assert_eq!(*v, "fine");
         let (p, v) = t.longest_prefix(&n("/city/port")).unwrap();
@@ -280,13 +282,9 @@ mod tests {
 
     #[test]
     fn iter_prefix_scopes() {
-        let t: NameTree<i32> = [
-            (n("/a/x"), 1),
-            (n("/a/y"), 2),
-            (n("/b/z"), 3),
-        ]
-        .into_iter()
-        .collect();
+        let t: NameTree<i32> = [(n("/a/x"), 1), (n("/a/y"), 2), (n("/b/z"), 3)]
+            .into_iter()
+            .collect();
         let under_a: Vec<_> = t.iter_prefix(&n("/a")).map(|(name, _)| name).collect();
         assert_eq!(under_a, vec![n("/a/x"), n("/a/y")]);
         assert_eq!(t.iter().count(), 3);

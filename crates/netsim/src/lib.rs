@@ -12,20 +12,25 @@
 //!   FIFO links that serialize transmissions, timers, external stimuli,
 //!   node up/down fault injection; identical seeds give identical runs;
 //! - [`metrics`] — per-link and per-message-kind traffic accounting, the
-//!   instrument behind the paper's Fig. 3 bandwidth comparison.
+//!   instrument behind the paper's Fig. 3 bandwidth comparison;
+//! - [`fault`] — seeded, replayable fault timelines (node churn, link
+//!   outages, partitions) the simulator applies at exact instants.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod metrics;
 pub mod sim;
 pub mod topology;
 
+pub use fault::{FaultEvent, FaultSchedule, TimedFault};
 pub use metrics::{KindCounters, Metrics};
 pub use sim::{Context, MediumMode, Protocol, Simulator, TraceEvent, WireMessage};
 pub use topology::{LinkSpec, NodeId, Topology};
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
+    pub use crate::fault::{FaultEvent, FaultSchedule};
     pub use crate::metrics::Metrics;
     pub use crate::sim::{Context, Protocol, Simulator, WireMessage};
     pub use crate::topology::{LinkSpec, NodeId, Topology};

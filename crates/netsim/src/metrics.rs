@@ -19,6 +19,15 @@ pub struct Metrics {
     pub messages_lost: u64,
     /// Messages dropped because the destination node was down.
     pub messages_dropped: u64,
+    /// Of [`Metrics::messages_dropped`], how many were attributable to an
+    /// injected fault (crashed node or downed link) rather than a manually
+    /// downed node. Always `<= messages_dropped`.
+    pub messages_dropped_by_fault: u64,
+    /// Messages purged from transmitter queues before ever being sent,
+    /// because their sender crashed or their link went down. These never
+    /// counted toward [`Metrics::messages_sent`], so they sit *outside* the
+    /// `sent = delivered + lost + dropped` conservation identity.
+    pub messages_purged_by_fault: u64,
     /// Total bytes clocked onto all links.
     pub bytes_sent: u64,
     per_link: BTreeMap<(NodeId, NodeId), u64>,

@@ -6,6 +6,7 @@
 //! a deterministic event heap keyed on `(time, sequence)` so identical seeds
 //! produce identical runs.
 
+use crate::fault::{FaultEvent, FaultSchedule};
 use crate::metrics::Metrics;
 use crate::topology::{NodeId, Topology};
 use dde_logic::time::{SimDuration, SimTime};
@@ -63,6 +64,14 @@ pub trait Protocol {
     /// [`Simulator::schedule_external`] arrives.
     fn on_external(&mut self, ctx: &mut Context<'_, Self::Msg>, ext: Self::Ext) {
         let _ = (ctx, ext);
+    }
+
+    /// Called when this node comes back up after a scheduled
+    /// [`FaultEvent::NodeRecover`]. Protocols use this to rebuild any
+    /// state lost in the crash (re-announce queries, re-arm timers).
+    /// Default: do nothing.
+    fn on_recover(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
     }
 }
 
@@ -138,12 +147,29 @@ enum Command<M> {
 }
 
 enum Event<P: Protocol> {
-    Start { node: NodeId },
-    Deliver { to: NodeId, from: NodeId, msg: P::Msg },
-    Timer { node: NodeId, tag: u64 },
-    External { node: NodeId, ext: P::Ext },
+    Start {
+        node: NodeId,
+    },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: P::Msg,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
+    External {
+        node: NodeId,
+        ext: P::Ext,
+    },
     /// A link finished clocking out its current message; start the next.
-    LinkFree { from: NodeId, to: NodeId },
+    LinkFree {
+        from: NodeId,
+        to: NodeId,
+    },
+    /// A scheduled fault transition fires.
+    Fault(FaultEvent),
 }
 
 struct Scheduled<P: Protocol> {
@@ -337,6 +363,109 @@ impl<P: Protocol> Simulator<P> {
         self.push(at.max(self.now), Event::External { node, ext });
     }
 
+    /// Installs every event of a [`FaultSchedule`] into the event heap.
+    ///
+    /// Faults fire at their exact scheduled instants; at equal timestamps,
+    /// faults installed here precede protocol events scheduled later (the
+    /// heap breaks ties by insertion sequence). Installing an **empty**
+    /// schedule is a strict no-op: no events, no RNG draws, no state
+    /// changes — the run is bit-identical to one without this call.
+    ///
+    /// May be called multiple times; schedules merge in the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event is scheduled before the current simulated time
+    /// or names a node outside the topology.
+    pub fn install_faults(&mut self, schedule: &FaultSchedule) {
+        for f in schedule.events() {
+            assert!(f.at >= self.now, "fault scheduled in the past: {f:?}");
+            let valid = |n: NodeId| n.index() < self.nodes.len();
+            match f.event {
+                FaultEvent::NodeCrash(n) | FaultEvent::NodeRecover(n) => {
+                    assert!(valid(n), "fault names unknown node {n}");
+                }
+                FaultEvent::LinkDown(a, b) | FaultEvent::LinkUp(a, b) => {
+                    assert!(valid(a) && valid(b), "fault names unknown link {a}-{b}");
+                    assert!(
+                        self.topology.has_link(a, b),
+                        "fault names non-existent link {a}-{b}"
+                    );
+                }
+            }
+            self.push(f.at, Event::Fault(f.event));
+        }
+    }
+
+    /// Applies a single fault transition at the current instant.
+    fn apply_fault(&mut self, fault: FaultEvent) {
+        match fault {
+            FaultEvent::NodeCrash(n) => {
+                if !self.node_up[n.index()] {
+                    return; // already down: idempotent
+                }
+                self.node_up[n.index()] = false;
+                self.topology.set_node_enabled(n, false);
+                self.topology.rebuild_routes();
+                // The crashed transmitter's queued (never-sent) traffic
+                // vanishes with it. In-flight transmissions already
+                // radiated their tail and complete normally — delivery
+                // *to* the crashed node is dropped at arrival.
+                let neighbors: Vec<NodeId> = self.topology.neighbors(n).collect();
+                for nb in neighbors {
+                    self.purge_link_queues(n, nb);
+                }
+            }
+            FaultEvent::NodeRecover(n) => {
+                if self.node_up[n.index()] {
+                    return; // already up: idempotent
+                }
+                self.node_up[n.index()] = true;
+                self.topology.set_node_enabled(n, true);
+                self.topology.rebuild_routes();
+                let mut commands = Vec::new();
+                {
+                    let mut ctx = Context {
+                        now: self.now,
+                        node: n,
+                        topology: &self.topology,
+                        commands: &mut commands,
+                    };
+                    self.nodes[n.index()].on_recover(&mut ctx);
+                }
+                for cmd in commands {
+                    match cmd {
+                        Command::Send { to, msg } => self.transmit(n, to, msg),
+                        Command::Timer { at, tag } => self.push(at, Event::Timer { node: n, tag }),
+                    }
+                }
+            }
+            FaultEvent::LinkDown(a, b) => {
+                if self.topology.set_link_enabled(a, b, false) {
+                    self.topology.rebuild_routes();
+                    self.purge_link_queues(a, b);
+                    self.purge_link_queues(b, a);
+                }
+            }
+            FaultEvent::LinkUp(a, b) => {
+                if self.topology.set_link_enabled(a, b, true) {
+                    self.topology.rebuild_routes();
+                }
+            }
+        }
+    }
+
+    /// Discards everything waiting (never sent) on the directed link
+    /// `from → to`, counting the purge in the metrics.
+    fn purge_link_queues(&mut self, from: NodeId, to: NodeId) {
+        if let Some(link) = self.links.get_mut(&(from, to)) {
+            let purged = (link.foreground.len() + link.background.len()) as u64;
+            link.foreground.clear();
+            link.background.clear();
+            self.metrics.messages_purged_by_fault += purged;
+        }
+    }
+
     /// Marks a node up or down. Messages to/from a down node are dropped;
     /// its timers and externals are swallowed.
     pub fn set_node_up(&mut self, node: NodeId, up: bool) {
@@ -423,17 +552,35 @@ impl<P: Protocol> Simulator<P> {
             self.link_freed(from, to);
             return true;
         }
+        if let Event::Fault(fault) = event {
+            self.apply_fault(fault);
+            return true;
+        }
         let mut commands = Vec::new();
         let node_id = match &event {
-            Event::Start { node }
-            | Event::Timer { node, .. }
-            | Event::External { node, .. } => *node,
+            Event::Start { node } | Event::Timer { node, .. } | Event::External { node, .. } => {
+                *node
+            }
             Event::Deliver { to, .. } => *to,
-            Event::LinkFree { .. } => unreachable!("handled above"),
+            Event::LinkFree { .. } | Event::Fault(_) => unreachable!("handled above"),
         };
+        if let Event::Deliver { from, to, .. } = &event {
+            // The link went down (by fault) while the message was in flight:
+            // it never arrives.
+            if !self.topology.is_link_enabled(*from, *to) {
+                self.metrics.messages_dropped += 1;
+                self.metrics.messages_dropped_by_fault += 1;
+                return true;
+            }
+        }
         if !self.node_up[node_id.index()] {
             if let Event::Deliver { .. } = event {
                 self.metrics.messages_dropped += 1;
+                // A destination downed by the fault schedule (rather than by
+                // a manual `set_node_up`) is visible in the topology state.
+                if !self.topology.is_node_enabled(node_id) {
+                    self.metrics.messages_dropped_by_fault += 1;
+                }
             }
             return true;
         }
@@ -454,24 +601,22 @@ impl<P: Protocol> Simulator<P> {
                 }
                 Event::Timer { tag, .. } => node.on_timer(&mut ctx, tag),
                 Event::External { ext, .. } => node.on_external(&mut ctx, ext),
-                Event::LinkFree { .. } => unreachable!("handled above"),
+                Event::LinkFree { .. } | Event::Fault(_) => unreachable!("handled above"),
             }
         }
 
         for cmd in commands {
             match cmd {
                 Command::Send { to, msg } => self.transmit(node_id, to, msg),
-                Command::Timer { at, tag } => {
-                    self.push(at, Event::Timer { node: node_id, tag })
-                }
+                Command::Timer { at, tag } => self.push(at, Event::Timer { node: node_id, tag }),
             }
         }
         true
     }
 
     fn transmit(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
-        let node_blocked = self.medium == MediumMode::HalfDuplexTx
-            && self.node_tx_busy[from.index()] > 0;
+        let node_blocked =
+            self.medium == MediumMode::HalfDuplexTx && self.node_tx_busy[from.index()] > 0;
         let link = self.links.entry((from, to)).or_default();
         if link.busy || node_blocked {
             if msg.background() {
@@ -524,8 +669,7 @@ impl<P: Protocol> Simulator<P> {
     /// lowest-numbered neighbor for determinism).
     fn link_freed(&mut self, from: NodeId, to: NodeId) {
         self.links.entry((from, to)).or_default().busy = false;
-        self.node_tx_busy[from.index()] =
-            self.node_tx_busy[from.index()].saturating_sub(1);
+        self.node_tx_busy[from.index()] = self.node_tx_busy[from.index()].saturating_sub(1);
         match self.medium {
             MediumMode::FullDuplex => {
                 let link = self.links.entry((from, to)).or_default();
@@ -748,7 +892,11 @@ mod tests {
         let m = sim.metrics();
         assert_eq!(m.messages_sent, 100);
         assert_eq!(m.bytes_sent, 10_000);
-        assert!(m.messages_lost > 20 && m.messages_lost < 80, "lost {}", m.messages_lost);
+        assert!(
+            m.messages_lost > 20 && m.messages_lost < 80,
+            "lost {}",
+            m.messages_lost
+        );
         assert_eq!(m.messages_lost + m.messages_delivered, 100);
     }
 
@@ -905,8 +1053,10 @@ mod tests {
             assert_eq!(log.len(), 3);
             // The queued foreground packet overtakes the queued background
             // blob: arrival order fg, fg, bg.
-            assert!(!log[0].1 && !log[1].1 && log[2].1,
-                "expected fg,fg,bg got {log:?}");
+            assert!(
+                !log[0].1 && !log[1].1 && log[2].1,
+                "expected fg,fg,bg got {log:?}"
+            );
         });
     }
 
@@ -1030,5 +1180,147 @@ mod tests {
         let nodes = sim.into_nodes();
         assert_eq!(nodes.len(), 2);
         assert_eq!(nodes[1].received_at.len(), 1);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_a_strict_noop() {
+        let run = |install: bool| {
+            let mut topo = Topology::new(2);
+            topo.add_link(NodeId(0), NodeId(1), LinkSpec::mbps1().loss(0.3));
+            topo.rebuild_routes();
+            let mut sim = Simulator::new(topo, vec![echo(true), echo(false)], 9);
+            if install {
+                sim.install_faults(&FaultSchedule::new());
+            }
+            sim.run();
+            (
+                sim.metrics().messages_sent,
+                sim.metrics().messages_lost,
+                sim.metrics().messages_delivered,
+                sim.events_processed(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn crashed_node_drops_deliveries_and_attributes_fault() {
+        // Node 0 starts a 1 s transfer at t=0; node 1 crashes at t=0.5 s,
+        // so the message (arriving at 1.001 s) is dropped as a fault.
+        let topo = Topology::line(2, LinkSpec::mbps1());
+        let mut sim = Simulator::new(topo, vec![echo(true), echo(false)], 1);
+        let mut faults = FaultSchedule::new();
+        faults.crash_at(SimTime::from_millis(500), NodeId(1));
+        sim.install_faults(&faults);
+        sim.run();
+        assert_eq!(sim.node(NodeId(1)).received_at.len(), 0);
+        assert_eq!(sim.metrics().messages_dropped, 1);
+        assert_eq!(sim.metrics().messages_dropped_by_fault, 1);
+        // Bandwidth was still consumed: the tail had already radiated.
+        assert_eq!(sim.metrics().bytes_sent, 125_000);
+    }
+
+    #[test]
+    fn crash_purges_queued_traffic_and_recovery_restores_processing() {
+        struct Burst3;
+        impl Protocol for Burst3 {
+            type Msg = Packet;
+            type Ext = Packet;
+            fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+                if ctx.node() == NodeId(0) {
+                    // Four 1 s packets: one in flight, three queued.
+                    for _ in 0..4 {
+                        ctx.send(NodeId(1), Packet(125_000));
+                    }
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Packet>, _: NodeId, _: Packet) {}
+            fn on_external(&mut self, ctx: &mut Context<'_, Packet>, ext: Packet) {
+                ctx.send(NodeId(1), ext);
+            }
+        }
+        let topo = Topology::line(2, LinkSpec::mbps1());
+        let mut sim = Simulator::new(topo, vec![Burst3, Burst3], 1);
+        let mut faults = FaultSchedule::new();
+        // Sender crashes mid-first-transmission, recovers later.
+        faults.crash_at(SimTime::from_millis(500), NodeId(0));
+        faults.recover_at(SimTime::from_secs(10), NodeId(0));
+        sim.install_faults(&faults);
+        // After recovery, an external triggers one more send — it flows.
+        sim.schedule_external(SimTime::from_secs(11), NodeId(0), Packet(1000));
+        sim.run();
+        let m = sim.metrics();
+        assert_eq!(m.messages_purged_by_fault, 3, "queued packets purged");
+        // In-flight packet + post-recovery packet were sent and delivered.
+        assert_eq!(m.messages_sent, 2);
+        assert_eq!(m.messages_delivered, 2);
+        assert_eq!(
+            m.messages_sent,
+            m.messages_delivered + m.messages_lost + m.messages_dropped
+        );
+    }
+
+    #[test]
+    fn link_down_purges_reroutes_and_drops_in_flight() {
+        // Triangle: 0-1 direct plus 0-2-1 detour. Kill 0-1 mid-flight.
+        let mut topo = Topology::new(3);
+        topo.add_link(NodeId(0), NodeId(1), LinkSpec::mbps1());
+        topo.add_link(NodeId(0), NodeId(2), LinkSpec::mbps1());
+        topo.add_link(NodeId(2), NodeId(1), LinkSpec::mbps1());
+        topo.rebuild_routes();
+        let mut sim = Simulator::new(topo, vec![echo(true), echo(false), echo(false)], 1);
+        let mut faults = FaultSchedule::new();
+        faults.link_down_at(SimTime::from_millis(500), NodeId(0), NodeId(1));
+        sim.install_faults(&faults);
+        sim.run();
+        // The in-flight packet (arrival 1.001 s) died with the link.
+        assert_eq!(sim.node(NodeId(1)).received_at.len(), 0);
+        assert_eq!(sim.metrics().messages_dropped_by_fault, 1);
+        // Routing now detours through node 2.
+        assert_eq!(
+            sim.topology().next_hop(NodeId(0), NodeId(1)),
+            Some(NodeId(2))
+        );
+    }
+
+    #[test]
+    fn link_up_restores_routes() {
+        let topo = Topology::line(3, LinkSpec::mbps1());
+        let mut sim = Simulator::new(topo, vec![echo(false), echo(false), echo(false)], 1);
+        let mut faults = FaultSchedule::new();
+        faults.link_down_at(SimTime::from_secs(1), NodeId(1), NodeId(2));
+        faults.link_up_at(SimTime::from_secs(2), NodeId(1), NodeId(2));
+        sim.install_faults(&faults);
+        sim.run_until(SimTime::from_millis(1500));
+        assert_eq!(sim.topology().next_hop(NodeId(0), NodeId(2)), None);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(
+            sim.topology().next_hop(NodeId(0), NodeId(2)),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn recovery_invokes_protocol_hook() {
+        struct Recover(u32);
+        impl Protocol for Recover {
+            type Msg = Packet;
+            type Ext = ();
+            fn on_message(&mut self, _: &mut Context<'_, Packet>, _: NodeId, _: Packet) {}
+            fn on_recover(&mut self, ctx: &mut Context<'_, Packet>) {
+                self.0 += 1;
+                // Recovering protocols may immediately transmit.
+                ctx.send(NodeId(1), Packet(10));
+            }
+        }
+        let topo = Topology::line(2, LinkSpec::mbps1());
+        let mut sim = Simulator::new(topo, vec![Recover(0), Recover(0)], 1);
+        let mut faults = FaultSchedule::new();
+        faults.crash_at(SimTime::from_secs(1), NodeId(0));
+        faults.recover_at(SimTime::from_secs(2), NodeId(0));
+        sim.install_faults(&faults);
+        sim.run();
+        assert_eq!(sim.node(NodeId(0)).0, 1);
+        assert_eq!(sim.metrics().messages_delivered, 1);
     }
 }

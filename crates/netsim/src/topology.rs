@@ -122,6 +122,11 @@ pub struct Topology {
     // dist[u][v] in hops (usize::MAX = unreachable)
     dist: Vec<Vec<usize>>,
     routes_dirty: bool,
+    // Fault state: crashed nodes and downed links are *physically* still
+    // present (adjacency is unchanged) but excluded from routing. BTreeSet
+    // with endpoints ordered (min, max) keeps iteration deterministic.
+    disabled_nodes: std::collections::BTreeSet<usize>,
+    disabled_links: std::collections::BTreeSet<(usize, usize)>,
 }
 
 impl Topology {
@@ -133,6 +138,8 @@ impl Topology {
             next_hop: Vec::new(),
             dist: Vec::new(),
             routes_dirty: true,
+            disabled_nodes: std::collections::BTreeSet::new(),
+            disabled_links: std::collections::BTreeSet::new(),
         }
     }
 
@@ -170,10 +177,7 @@ impl Topology {
     pub fn add_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
         assert!(a.0 < self.n && b.0 < self.n, "link endpoint out of range");
         assert_ne!(a, b, "self-links are not allowed");
-        assert!(
-            !self.has_link(a, b),
-            "link {a}-{b} already exists"
-        );
+        assert!(!self.has_link(a, b), "link {a}-{b} already exists");
         self.adjacency[a.0].push((b, spec));
         self.adjacency[b.0].push((a, spec));
         self.routes_dirty = true;
@@ -205,6 +209,80 @@ impl Topology {
         self.adjacency.iter().map(Vec::len).sum()
     }
 
+    // ---- Fault state (node churn and link outages) -------------------
+
+    fn link_key(a: NodeId, b: NodeId) -> (usize, usize) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// Whether `node` is enabled (not crashed). Nodes start enabled.
+    pub fn is_node_enabled(&self, node: NodeId) -> bool {
+        !self.disabled_nodes.contains(&node.0)
+    }
+
+    /// Enables or disables a node for routing purposes. Disabled nodes keep
+    /// their physical links ([`Topology::has_link`] is unchanged) but no
+    /// route traverses or terminates at them. Returns `true` if the state
+    /// changed (and marks routes stale).
+    pub fn set_node_enabled(&mut self, node: NodeId, enabled: bool) -> bool {
+        assert!(node.0 < self.n, "node out of range");
+        let changed = if enabled {
+            self.disabled_nodes.remove(&node.0)
+        } else {
+            self.disabled_nodes.insert(node.0)
+        };
+        if changed {
+            self.routes_dirty = true;
+        }
+        changed
+    }
+
+    /// Whether the physical link `a`–`b` exists *and* is currently enabled
+    /// (not taken down by a fault). Does not consider endpoint node state;
+    /// see [`Topology::is_link_usable`].
+    pub fn is_link_enabled(&self, a: NodeId, b: NodeId) -> bool {
+        self.has_link(a, b) && !self.disabled_links.contains(&Self::link_key(a, b))
+    }
+
+    /// Enables or disables the undirected link `a`–`b`. Returns `true` if
+    /// the state changed (and marks routes stale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical link does not exist.
+    pub fn set_link_enabled(&mut self, a: NodeId, b: NodeId, enabled: bool) -> bool {
+        assert!(self.has_link(a, b), "no physical link {a}-{b}");
+        let key = Self::link_key(a, b);
+        let changed = if enabled {
+            self.disabled_links.remove(&key)
+        } else {
+            self.disabled_links.insert(key)
+        };
+        if changed {
+            self.routes_dirty = true;
+        }
+        changed
+    }
+
+    /// Whether traffic can currently flow `a → b`: the link exists, is
+    /// enabled, and both endpoints are enabled.
+    pub fn is_link_usable(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_link_enabled(a, b) && self.is_node_enabled(a) && self.is_node_enabled(b)
+    }
+
+    /// Whether any fault state (disabled node or link) is active.
+    pub fn has_fault_state(&self) -> bool {
+        !self.disabled_nodes.is_empty() || !self.disabled_links.is_empty()
+    }
+
+    /// Neighbors of `node` reachable over currently-usable links.
+    pub fn neighbors_up(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency[node.0]
+            .iter()
+            .map(|(v, _)| *v)
+            .filter(move |&v| self.is_link_usable(node, v))
+    }
+
     /// Recomputes the all-pairs next-hop tables. Called automatically by the
     /// routing queries; exposed for callers that want to pay the cost
     /// eagerly.
@@ -216,17 +294,21 @@ impl Topology {
         // gives each source its first hop toward that destination. With
         // homogeneous links (the paper's setting) hop count is the metric;
         // ties break toward the lowest-numbered neighbor for determinism.
+        // Crashed nodes and downed links are excluded, so routes always
+        // detour around active faults (or report unreachable).
         for dst in 0..n {
+            if !self.is_node_enabled(NodeId(dst)) {
+                continue;
+            }
             let mut q = VecDeque::new();
             dist[dst][dst] = 0;
             next_hop[dst][dst] = dst;
             q.push_back(dst);
             while let Some(u) = q.pop_front() {
-                let mut nbrs: Vec<usize> =
-                    self.adjacency[u].iter().map(|(v, _)| v.0).collect();
+                let mut nbrs: Vec<usize> = self.adjacency[u].iter().map(|(v, _)| v.0).collect();
                 nbrs.sort_unstable();
                 for v in nbrs {
-                    if dist[v][dst] == usize::MAX {
+                    if dist[v][dst] == usize::MAX && self.is_link_usable(NodeId(v), NodeId(u)) {
                         dist[v][dst] = dist[u][dst] + 1;
                         next_hop[v][dst] = u;
                         q.push_back(v);
@@ -406,10 +488,7 @@ mod tests {
     fn transmission_time_matches_paper_config() {
         // 1 MB over 1 Mbps = 8 seconds.
         let spec = LinkSpec::mbps1();
-        assert_eq!(
-            spec.transmission_time(1_000_000),
-            SimDuration::from_secs(8)
-        );
+        assert_eq!(spec.transmission_time(1_000_000), SimDuration::from_secs(8));
         // 100 KB over 1 Mbps = 0.8 s.
         assert_eq!(
             spec.transmission_time(100_000),
@@ -495,7 +574,10 @@ mod tests {
         let spec = LinkSpec::with_bandwidth(2_000_000);
         t.add_link(NodeId(0), NodeId(1), spec);
         t.rebuild_routes();
-        assert_eq!(t.link(NodeId(0), NodeId(1)).unwrap().bandwidth_bps, 2_000_000);
+        assert_eq!(
+            t.link(NodeId(0), NodeId(1)).unwrap().bandwidth_bps,
+            2_000_000
+        );
         assert!(t.link(NodeId(1), NodeId(1)).is_none());
         assert_eq!(t.directed_link_count(), 2);
     }

@@ -150,11 +150,12 @@ mod tests {
 
     #[test]
     fn dnf_explanation_lists_courses_in_plan_order() {
-        let q = Dnf::from_terms(vec![
-            Term::all_of(["x1", "x2"]),
-            Term::all_of(["y1"]),
+        let q = Dnf::from_terms(vec![Term::all_of(["x1", "x2"]), Term::all_of(["y1"])]);
+        let m = meta(&[
+            ("x1", 500_000, 0.2),
+            ("x2", 500_000, 0.2),
+            ("y1", 100_000, 0.9),
         ]);
-        let m = meta(&[("x1", 500_000, 0.2), ("x2", 500_000, 0.2), ("y1", 100_000, 0.9)]);
         let plan = plan_dnf(&q, &m);
         let text = explain_dnf_plan(&plan);
         // The cheap likely term is ranked first.

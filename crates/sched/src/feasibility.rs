@@ -120,8 +120,17 @@ mod tests {
     fn timeline_is_back_to_back() {
         let ch = Channel::mbps1();
         // 125 KB = 1 s each.
-        let order = vec![item("a", 125, 100), item("b", 125, 100), item("c", 125, 100)];
-        let a = analyze(&order, ch, SimTime::from_secs(5), SimDuration::from_secs(60));
+        let order = vec![
+            item("a", 125, 100),
+            item("b", 125, 100),
+            item("c", 125, 100),
+        ];
+        let a = analyze(
+            &order,
+            ch,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(60),
+        );
         assert_eq!(
             a.activations,
             vec![
@@ -148,7 +157,12 @@ mod tests {
         assert_eq!(a.slack(), None);
         // Swapping the order fixes it.
         let swapped = vec![item("big", 125, 100), item("volatile", 125, 1)];
-        assert!(is_feasible(&swapped, ch, SimTime::ZERO, SimDuration::from_secs(60)));
+        assert!(is_feasible(
+            &swapped,
+            ch,
+            SimTime::ZERO,
+            SimDuration::from_secs(60)
+        ));
     }
 
     #[test]

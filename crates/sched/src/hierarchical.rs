@@ -189,14 +189,9 @@ mod tests {
     #[test]
     fn paper_key_prioritizes_short_validity() {
         let ch = Channel::mbps1();
-        let short_validity = QuerySpec::new(
-            vec![item("s", 125, 1500)],
-            SimDuration::from_secs(50),
-        );
-        let long_validity = QuerySpec::new(
-            vec![item("l", 125, 60_000)],
-            SimDuration::from_secs(40),
-        );
+        let short_validity = QuerySpec::new(vec![item("s", 125, 1500)], SimDuration::from_secs(50));
+        let long_validity =
+            QuerySpec::new(vec![item("l", 125, 60_000)], SimDuration::from_secs(40));
         let sched = hierarchical_schedule_with(
             &[long_validity, short_validity],
             ch,
@@ -244,8 +239,7 @@ mod tests {
         ) -> bool {
             if remaining.iter().all(Vec::is_empty) {
                 let mut cursor = SimTime::ZERO;
-                let mut acts: Vec<Vec<(SimTime, SimDuration)>> =
-                    vec![Vec::new(); queries.len()];
+                let mut acts: Vec<Vec<(SimTime, SimDuration)>> = vec![Vec::new(); queries.len()];
                 let mut finishes = vec![SimTime::ZERO; queries.len()];
                 for (qi, it) in timeline.iter() {
                     acts[*qi].push((cursor, it.validity));

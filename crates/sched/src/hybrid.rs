@@ -114,28 +114,30 @@ mod tests {
             item("volatile", 125, 1500, 0.0),
             item("stable", 125, 60_000, 0.99),
         ];
-        let order = greedy_validity_shortcircuit(
-            &items,
-            ch,
-            SimTime::ZERO,
-            SimDuration::from_secs(60),
-        );
+        let order =
+            greedy_validity_shortcircuit(&items, ch, SimTime::ZERO, SimDuration::from_secs(60));
         let labels: Vec<_> = order.iter().map(|i| i.label.as_str()).collect();
         assert_eq!(labels, vec!["stable", "volatile"]);
-        assert!(is_feasible(&order, ch, SimTime::ZERO, SimDuration::from_secs(60)));
+        assert!(is_feasible(
+            &order,
+            ch,
+            SimTime::ZERO,
+            SimDuration::from_secs(60)
+        ));
     }
 
     #[test]
     fn unschedulable_falls_back_to_lvf() {
         let ch = Channel::mbps1();
         let items = vec![item("a", 125, 100, 0.5), item("b", 125, 100, 0.5)];
-        assert!(!schedulable(&items, ch, SimTime::ZERO, SimDuration::from_secs(60)));
-        let order = greedy_validity_shortcircuit(
+        assert!(!schedulable(
             &items,
             ch,
             SimTime::ZERO,
-            SimDuration::from_secs(60),
-        );
+            SimDuration::from_secs(60)
+        ));
+        let order =
+            greedy_validity_shortcircuit(&items, ch, SimTime::ZERO, SimDuration::from_secs(60));
         let lvf = lvf_order(&items);
         let o: Vec<_> = order.iter().map(|i| i.label.as_str()).collect();
         let l: Vec<_> = lvf.iter().map(|i| i.label.as_str()).collect();

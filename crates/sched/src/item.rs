@@ -86,11 +86,9 @@ impl Channel {
     where
         I: IntoIterator<Item = &'a RetrievalItem>,
     {
-        items
-            .into_iter()
-            .fold(SimDuration::ZERO, |acc, it| {
-                acc + self.transmission_time(it.cost)
-            })
+        items.into_iter().fold(SimDuration::ZERO, |acc, it| {
+            acc + self.transmission_time(it.cost)
+        })
     }
 }
 

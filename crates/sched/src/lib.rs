@@ -60,11 +60,11 @@ pub use hierarchical::{
 pub use hybrid::greedy_validity_shortcircuit;
 pub use item::{Channel, RetrievalItem};
 pub use lvf::{lvf_order, lvf_schedule, schedulable, sort_lvf};
+pub use shared::{no_reuse_cost, shared_schedule, ScheduledFetch, SharedQuery, SharedSchedule};
 pub use shortcircuit::{
     and_truth_prob, expected_and_cost, expected_or_cost, optimal_and_order, optimal_or_order,
     plan_dnf, DnfPlan,
 };
-pub use shared::{no_reuse_cost, shared_schedule, ScheduledFetch, SharedQuery, SharedSchedule};
 pub use tree::{plan_expr, EvalPlan, PlanNode};
 
 /// Convenient glob-import of the crate's primary types.
@@ -77,7 +77,7 @@ pub mod prelude {
     pub use crate::hybrid::greedy_validity_shortcircuit;
     pub use crate::item::{Channel, RetrievalItem};
     pub use crate::lvf::{lvf_order, lvf_schedule, schedulable};
-    pub use crate::shortcircuit::{expected_and_cost, optimal_and_order, plan_dnf, DnfPlan};
     pub use crate::shared::{shared_schedule, SharedQuery, SharedSchedule};
+    pub use crate::shortcircuit::{expected_and_cost, optimal_and_order, plan_dnf, DnfPlan};
     pub use crate::tree::{plan_expr, EvalPlan, PlanNode};
 }

@@ -97,7 +97,12 @@ mod tests {
             SimDuration::from_secs(60)
         ));
         // LVF is feasible:
-        assert!(schedulable(&items, ch, SimTime::ZERO, SimDuration::from_secs(60)));
+        assert!(schedulable(
+            &items,
+            ch,
+            SimTime::ZERO,
+            SimDuration::from_secs(60)
+        ));
     }
 
     #[test]
@@ -107,7 +112,12 @@ mod tests {
         // data would be stale... actually last item finishes exactly as
         // sampled+1s; make validities 0.5 s so nothing works.
         let items = vec![item("a", 125, 500), item("b", 125, 500)];
-        assert!(!schedulable(&items, ch, SimTime::ZERO, SimDuration::from_secs(60)));
+        assert!(!schedulable(
+            &items,
+            ch,
+            SimTime::ZERO,
+            SimDuration::from_secs(60)
+        ));
     }
 
     fn permutations<T: Clone>(v: &[T]) -> Vec<Vec<T>> {

@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn permutation_count() {
-        let items: Vec<_> = (0..4).map(|i| item(&format!("o{i}"), 1, 1000, 0.5)).collect();
+        let items: Vec<_> = (0..4)
+            .map(|i| item(&format!("o{i}"), 1, 1000, 0.5))
+            .collect();
         assert_eq!(permutations(&items).len(), 24);
         assert_eq!(permutations(&[]).len(), 1);
     }
@@ -114,7 +116,12 @@ mod tests {
             brute_force_min_feasible_cost(&items, ch, SimTime::ZERO, SimDuration::from_secs(9)),
             None
         );
-        assert!(!brute_force_schedulable(&items, ch, SimTime::ZERO, SimDuration::from_secs(9)));
+        assert!(!brute_force_schedulable(
+            &items,
+            ch,
+            SimTime::ZERO,
+            SimDuration::from_secs(9)
+        ));
     }
 
     proptest! {

@@ -180,11 +180,7 @@ pub fn shared_schedule(
 /// The no-reuse reference: every query fetches everything itself
 /// (hierarchical EDF + LVF, as in the disjoint model of §IV-A). Returns
 /// `(total cost, feasible-for-all)`.
-pub fn no_reuse_cost(
-    queries: &[SharedQuery],
-    channel: Channel,
-    arrival: SimTime,
-) -> (Cost, bool) {
+pub fn no_reuse_cost(queries: &[SharedQuery], channel: Channel, arrival: SimTime) -> (Cost, bool) {
     let specs: Vec<crate::hierarchical::QuerySpec> = queries
         .iter()
         .map(|q| crate::hierarchical::QuerySpec::new(q.items.clone(), q.deadline))

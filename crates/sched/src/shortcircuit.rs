@@ -218,10 +218,7 @@ mod tests {
     #[test]
     fn plan_orders_terms_and_conditions() {
         // Term 0: expensive & unlikely. Term 1: cheap & likely.
-        let q = Dnf::from_terms(vec![
-            Term::all_of(["x1", "x2"]),
-            Term::all_of(["y1", "y2"]),
-        ]);
+        let q = Dnf::from_terms(vec![Term::all_of(["x1", "x2"]), Term::all_of(["y1", "y2"])]);
         let meta = meta_for(&[
             ("x1", 5 * MB, 0.1),
             ("x2", 5 * MB, 0.1),

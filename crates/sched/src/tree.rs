@@ -200,10 +200,7 @@ mod tests {
         let e = parse_expr("h & k").unwrap();
         let m = meta(&[("h", 4_000_000, 0.6), ("k", 5_000_000, 0.2)]);
         let plan = plan_expr(&e, &m);
-        assert_eq!(
-            plan.leaf_order(),
-            vec![Label::new("k"), Label::new("h")]
-        );
+        assert_eq!(plan.leaf_order(), vec![Label::new("k"), Label::new("h")]);
         assert!((plan.expected_cost - 5.8e6).abs() < 1.0);
         assert!((plan.prob_true - 0.12).abs() < 1e-9);
     }
@@ -303,10 +300,7 @@ mod tests {
                 Expr::Label(l) => {
                     let meta = m.get_or_default(l);
                     let p = meta.prob_true.value();
-                    (
-                        meta.cost.as_f64(),
-                        if negated { 1.0 - p } else { p },
-                    )
+                    (meta.cost.as_f64(), if negated { 1.0 - p } else { p })
                 }
                 Expr::Not(inner) => eval(inner, m, !negated),
                 Expr::And(cs) | Expr::Or(cs) => {

@@ -77,10 +77,7 @@ impl Catalog {
 
     /// Indices of objects whose evidence can resolve `label`.
     pub fn providers_of(&self, label: &Label) -> &[usize] {
-        self.by_label
-            .get(label)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_label.get(label).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The cheapest (smallest) provider of `label`, if any.

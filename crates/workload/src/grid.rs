@@ -140,7 +140,10 @@ impl RoadGrid {
     /// Panics unless both dimensions are at least 2 (otherwise there are no
     /// segments).
     pub fn new(rows: usize, cols: usize) -> RoadGrid {
-        assert!(rows >= 2 && cols >= 2, "grid needs at least 2×2 intersections");
+        assert!(
+            rows >= 2 && cols >= 2,
+            "grid needs at least 2×2 intersections"
+        );
         RoadGrid { rows, cols }
     }
 
@@ -176,16 +179,28 @@ impl RoadGrid {
     pub fn neighbors(&self, i: Intersection) -> Vec<Intersection> {
         let mut out = Vec::with_capacity(4);
         if i.row > 0 {
-            out.push(Intersection { row: i.row - 1, col: i.col });
+            out.push(Intersection {
+                row: i.row - 1,
+                col: i.col,
+            });
         }
         if i.row + 1 < self.rows {
-            out.push(Intersection { row: i.row + 1, col: i.col });
+            out.push(Intersection {
+                row: i.row + 1,
+                col: i.col,
+            });
         }
         if i.col > 0 {
-            out.push(Intersection { row: i.row, col: i.col - 1 });
+            out.push(Intersection {
+                row: i.row,
+                col: i.col - 1,
+            });
         }
         if i.col + 1 < self.cols {
-            out.push(Intersection { row: i.row, col: i.col + 1 });
+            out.push(Intersection {
+                row: i.row,
+                col: i.col + 1,
+            });
         }
         out
     }
@@ -226,7 +241,10 @@ impl RoadGrid {
         k: usize,
         rng: &mut R,
     ) -> Vec<Route> {
-        assert!(self.contains(origin) && self.contains(dest), "off-grid endpoint");
+        assert!(
+            self.contains(origin) && self.contains(dest),
+            "off-grid endpoint"
+        );
         assert_ne!(origin, dest, "origin and destination must differ");
         let mut routes: Vec<Route> = Vec::new();
         let attempts = k * 6;

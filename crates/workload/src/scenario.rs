@@ -10,6 +10,7 @@ use crate::world::{DynamicsClass, WorldModel};
 use dde_logic::dnf::{Dnf, Term};
 use dde_logic::time::{SimDuration, SimTime};
 use dde_naming::name::Name;
+use dde_netsim::fault::FaultSchedule;
 use dde_netsim::topology::{LinkSpec, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -73,6 +74,13 @@ pub struct ScenarioConfig {
     /// evidence for every segment (extra tele cameras are added from the
     /// nearest nodes). Needed for ≥3-way corroboration (§IV-B).
     pub min_sources_per_segment: usize,
+    /// Node churn: each node independently crashes once with this
+    /// probability at a uniform instant before the last deadline, then
+    /// recovers after [`ScenarioConfig::churn_downtime`]. `0.0` disables
+    /// fault injection entirely (the built schedule is empty).
+    pub churn_rate: f64,
+    /// How long a churned node stays down before recovering.
+    pub churn_downtime: SimDuration,
     /// Master seed.
     pub seed: u64,
 }
@@ -98,6 +106,8 @@ impl Default for ScenarioConfig {
             query_stagger: SimDuration::from_millis(500),
             issue_offset: SimDuration::ZERO,
             min_sources_per_segment: 1,
+            churn_rate: 0.0,
+            churn_downtime: SimDuration::from_secs(60),
             seed: 1,
         }
     }
@@ -135,6 +145,18 @@ impl ScenarioConfig {
         self.fast_ratio = r;
         self
     }
+
+    /// Sets the node-churn rate (the resilience ablation's x-axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= r <= 1.0`.
+    #[must_use]
+    pub fn with_churn(mut self, r: f64) -> ScenarioConfig {
+        assert!((0.0..=1.0).contains(&r), "churn_rate out of range");
+        self.churn_rate = r;
+        self
+    }
 }
 
 /// A fully-assembled experiment scenario.
@@ -154,6 +176,9 @@ pub struct Scenario {
     pub catalog: Catalog,
     /// The decision queries to issue.
     pub queries: Vec<QueryInstance>,
+    /// Deterministic fault timeline (node churn); empty unless
+    /// [`ScenarioConfig::churn_rate`] is positive.
+    pub faults: FaultSchedule,
 }
 
 impl Scenario {
@@ -247,9 +272,7 @@ impl Scenario {
                 catalog.add(ObjectSpec {
                     name: format!("/city/pano/n{ni}").parse().expect("valid name"),
                     covers,
-                    size: rng.gen_range(
-                        config.min_object_bytes..=config.max_object_bytes,
-                    ),
+                    size: rng.gen_range(config.min_object_bytes..=config.max_object_bytes),
                     source: NodeId(ni),
                     class,
                     validity,
@@ -309,11 +332,12 @@ impl Scenario {
                         break (o, d);
                     }
                 };
-                let routes =
-                    grid.candidate_routes(o, d, config.routes_per_query, &mut rng);
+                let routes = grid.candidate_routes(o, d, config.routes_per_query, &mut rng);
                 let terms: Vec<Term> = routes
                     .iter()
-                    .map(|r| Term::all_of(r.segments().iter().map(|s| s.label().as_str().to_string())))
+                    .map(|r| {
+                        Term::all_of(r.segments().iter().map(|s| s.label().as_str().to_string()))
+                    })
                     .collect();
                 queries.push(QueryInstance {
                     id: qid,
@@ -328,6 +352,27 @@ impl Scenario {
             }
         }
 
+        // --- Fault schedule (node churn) --------------------------------
+        // Seeded separately so churn generation never perturbs the world /
+        // catalog / query streams: churn_rate = 0 yields the exact same
+        // scenario as before fault injection existed.
+        let faults = if config.churn_rate > 0.0 {
+            let horizon = queries
+                .iter()
+                .map(|q| q.issue_at + q.deadline)
+                .max()
+                .unwrap_or(SimTime::from_secs(1));
+            FaultSchedule::uniform_churn(
+                config.node_count,
+                config.churn_rate,
+                horizon,
+                config.churn_downtime,
+                config.seed ^ 0xFA_17,
+            )
+        } else {
+            FaultSchedule::new()
+        };
+
         Scenario {
             config,
             grid,
@@ -336,6 +381,7 @@ impl Scenario {
             world,
             catalog,
             queries,
+            faults,
         }
     }
 }
@@ -490,10 +536,7 @@ mod tests {
                 }
             }
             let got = fast as f64 / total as f64;
-            assert!(
-                (got - ratio).abs() < 0.05,
-                "ratio {ratio} produced {got}"
-            );
+            assert!((got - ratio).abs() < 0.05, "ratio {ratio} produced {got}");
         }
     }
 
@@ -538,11 +581,7 @@ mod tests {
             queries_per_node: 3,
             ..ScenarioConfig::small()
         });
-        let node0: Vec<_> = s
-            .queries
-            .iter()
-            .filter(|q| q.origin == NodeId(0))
-            .collect();
+        let node0: Vec<_> = s.queries.iter().filter(|q| q.origin == NodeId(0)).collect();
         assert_eq!(node0.len(), 3);
         assert!(node0[0].issue_at < node0[1].issue_at);
         assert!(node0[1].issue_at < node0[2].issue_at);
@@ -552,10 +591,7 @@ mod tests {
     fn panoramas_cover_multiple_labels() {
         let s = Scenario::build(ScenarioConfig::small());
         assert!(
-            s.catalog
-                .objects()
-                .iter()
-                .any(|o| o.covers.len() > 1),
+            s.catalog.objects().iter().any(|o| o.covers.len() > 1),
             "expected at least one panorama object"
         );
         // Panoramas inherit the minimum validity of their segments.

@@ -178,7 +178,10 @@ impl WorkflowModel {
     /// nothing has been observed. Ties break toward the lower index.
     pub fn predict_next(&self, current: usize) -> Option<usize> {
         let row = &self.counts[current];
-        let best = row.iter().enumerate().max_by_key(|(i, c)| (**c, self.n - i));
+        let best = row
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, c)| (**c, self.n - i));
         match best {
             Some((i, c)) if *c > 0 => Some(i),
             _ => None,
@@ -261,10 +264,7 @@ mod tests {
             assert_eq!(seq[0], 0, "missions start at recon");
             for w in seq.windows(2) {
                 // Only legal flowchart edges appear.
-                let legal = matches!(
-                    (w[0], w[1]),
-                    (0, 1) | (1, 2) | (1, 3) | (3, 1)
-                );
+                let legal = matches!((w[0], w[1]), (0, 1) | (1, 2) | (1, 3) | (3, 1));
                 assert!(legal, "illegal transition {w:?}");
             }
         }
@@ -273,11 +273,7 @@ mod tests {
     #[test]
     fn doctrine_sample_caps_length() {
         // A self-loop never terminates on its own; the cap must.
-        let d = Doctrine::new(
-            vec![template("loop")],
-            vec![vec![1.0]],
-            0,
-        );
+        let d = Doctrine::new(vec![template("loop")], vec![vec![1.0]], 0);
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(d.sample(&mut rng, 7).len(), 7);
     }
@@ -305,7 +301,7 @@ mod tests {
         assert_eq!(model.predict_next(1), Some(2)); // assess → evac (0.6 > 0.3)
         assert_eq!(model.predict_next(3), Some(1)); // resupply → assess
         assert_eq!(model.predict_next(2), None); // evac is terminal
-        // Learned probabilities are close to ground truth.
+                                                 // Learned probabilities are close to ground truth.
         assert!((model.transition_prob(1, 2) - 0.6 / 0.9).abs() < 0.1);
         assert_eq!(model.top_k(1, 2), vec![2, 3]);
     }

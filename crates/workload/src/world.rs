@@ -180,7 +180,10 @@ impl Hasher for Splitmix {
     }
     fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
-            self.0 = self.0.wrapping_add(b as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            self.0 = self
+                .0
+                .wrapping_add(b as u64)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15);
             let mut z = self.0;
             z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -197,7 +200,12 @@ mod tests {
     fn world_with(label: &str, validity_s: u64, p: f64) -> (WorldModel, Label) {
         let mut w = WorldModel::new(1234);
         let l = Label::new(label);
-        w.register(l.clone(), DynamicsClass::Fast, SimDuration::from_secs(validity_s), p);
+        w.register(
+            l.clone(),
+            DynamicsClass::Fast,
+            SimDuration::from_secs(validity_s),
+            p,
+        );
         (w, l)
     }
 
@@ -215,8 +223,14 @@ mod tests {
         let (w, l) = world_with("x", 10, 0.5);
         assert_eq!(w.epoch(&l, SimTime::from_secs(9)), 0);
         assert_eq!(w.epoch(&l, SimTime::from_secs(10)), 1);
-        assert_eq!(w.epoch_end(&l, SimTime::from_secs(3)), SimTime::from_secs(10));
-        assert_eq!(w.epoch_end(&l, SimTime::from_secs(10)), SimTime::from_secs(20));
+        assert_eq!(
+            w.epoch_end(&l, SimTime::from_secs(3)),
+            SimTime::from_secs(10)
+        );
+        assert_eq!(
+            w.epoch_end(&l, SimTime::from_secs(10)),
+            SimTime::from_secs(20)
+        );
     }
 
     #[test]
@@ -249,7 +263,12 @@ mod tests {
         let mut w1 = WorldModel::new(1);
         let mut w2 = WorldModel::new(2);
         for w in [&mut w1, &mut w2] {
-            w.register(l.clone(), DynamicsClass::Fast, SimDuration::from_secs(1), 0.5);
+            w.register(
+                l.clone(),
+                DynamicsClass::Fast,
+                SimDuration::from_secs(1),
+                0.5,
+            );
         }
         let differs = (0..200)
             .any(|s| w1.value(&l, SimTime::from_secs(s)) != w2.value(&l, SimTime::from_secs(s)));
@@ -278,7 +297,12 @@ mod tests {
         let (mut w, _) = world_with("x", 10, 0.5);
         assert_eq!(w.len(), 1);
         assert!(!w.is_empty());
-        w.register(Label::new("y"), DynamicsClass::Slow, SimDuration::from_secs(100), 0.9);
+        w.register(
+            Label::new("y"),
+            DynamicsClass::Slow,
+            SimDuration::from_secs(100),
+            0.9,
+        );
         assert_eq!(w.iter().count(), 2);
         let d = w.dynamics(&Label::new("y")).unwrap();
         assert_eq!(d.class, DynamicsClass::Slow);

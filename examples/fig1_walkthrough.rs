@@ -59,6 +59,7 @@ fn build() -> Scenario {
         world,
         catalog,
         queries,
+        faults: dde_netsim::fault::FaultSchedule::new(),
     }
 }
 

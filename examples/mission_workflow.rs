@@ -126,11 +126,7 @@ fn replay(
                         deadline: pt.deadline,
                         issue_at: issue_at + spacing,
                     };
-                    sim.schedule_external(
-                        issue_at,
-                        origin,
-                        AthenaEvent::AnnounceOnly(pred_inst),
-                    );
+                    sim.schedule_external(issue_at, origin, AthenaEvent::AnnounceOnly(pred_inst));
                 }
             }
             sim.schedule_external(issue_at, origin, AthenaEvent::Issue(inst));

@@ -14,9 +14,7 @@ use dde_sched::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // -- 1. The paper's route-finding decision -------------------------
     // Two candidate routes after the earthquake: A-B-C or D-E-F.
-    let expr = parse_expr(
-        "(viableA & viableB & viableC) | (viableD & viableE & viableF)",
-    )?;
+    let expr = parse_expr("(viableA & viableB & viableC) | (viableD & viableE & viableF)")?;
     let query = expr.to_dnf(64)?;
     println!("decision query : {query}");
     println!("labels needed  : {}\n", query.labels().len());

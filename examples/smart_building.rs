@@ -14,8 +14,8 @@
 //! Run with: `cargo run -p dde-examples --bin smart_building`
 
 use dde_core::prelude::*;
-use dde_logic::parse::parse_expr;
 use dde_logic::label::Label;
+use dde_logic::parse::parse_expr;
 use dde_logic::time::{SimDuration, SimTime};
 use dde_netsim::topology::{LinkSpec, NodeId, Topology};
 use dde_workload::catalog::{Catalog, ObjectSpec};
@@ -40,9 +40,9 @@ fn build(trigger_at: SimTime) -> Scenario {
     // a break-in through the door, window intact.
     let mut world = WorldModel::new(31);
     for (label, validity_s, p) in [
-        ("motion", 20, 1.0),       // fast-decaying occupancy state
+        ("motion", 20, 1.0), // fast-decaying occupancy state
         ("door_open", 60, 1.0),
-        ("badge_ok", 300, 0.0),    // nobody badged in
+        ("badge_ok", 300, 0.0), // nobody badged in
         ("window_broken", 600, 0.0),
     ] {
         world.register(
@@ -60,10 +60,22 @@ fn build(trigger_at: SimTime) -> Scenario {
     // Evidence sources around the building.
     let mut catalog = Catalog::new();
     for (name, covers, node, bytes, validity_s) in [
-        ("/bldg/warehouse/pir", vec!["motion"], 2usize, 2_000u64, 20u64),
+        (
+            "/bldg/warehouse/pir",
+            vec!["motion"],
+            2usize,
+            2_000u64,
+            20u64,
+        ),
         ("/bldg/warehouse/doorcam", vec!["door_open"], 2, 400_000, 60),
         ("/bldg/lobby/badge-log", vec!["badge_ok"], 0, 5_000, 300),
-        ("/bldg/warehouse/windowcam", vec!["window_broken"], 3, 600_000, 600),
+        (
+            "/bldg/warehouse/windowcam",
+            vec!["window_broken"],
+            3,
+            600_000,
+            600,
+        ),
     ] {
         let class = if validity_s < 60 {
             DynamicsClass::Fast
@@ -103,11 +115,14 @@ fn build(trigger_at: SimTime) -> Scenario {
         world,
         catalog,
         queries,
+        faults: dde_netsim::fault::FaultSchedule::new(),
     }
 }
 
 fn main() {
-    println!("== Smart building: motion sensor fires at 02:13, decide whether to dispatch a guard ==\n");
+    println!(
+        "== Smart building: motion sensor fires at 02:13, decide whether to dispatch a guard ==\n"
+    );
     let trigger_at = SimTime::from_secs(8);
     let scenario = build(trigger_at);
     let report = run_scenario(&scenario, RunOptions::new(Strategy::Lvf));

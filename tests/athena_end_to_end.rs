@@ -5,7 +5,11 @@ use dde_core::prelude::*;
 use dde_workload::prelude::*;
 
 fn scenario(seed: u64, fast_ratio: f64) -> Scenario {
-    Scenario::build(ScenarioConfig::small().with_seed(seed).with_fast_ratio(fast_ratio))
+    Scenario::build(
+        ScenarioConfig::small()
+            .with_seed(seed)
+            .with_fast_ratio(fast_ratio),
+    )
 }
 
 #[test]
@@ -78,7 +82,11 @@ fn label_sharing_reduces_data_bytes() {
 
 #[test]
 fn ground_truth_decisions_are_accurate() {
-    for strategy in [Strategy::Lvf, Strategy::LvfLabelShare, Strategy::LowestCostFirst] {
+    for strategy in [
+        Strategy::Lvf,
+        Strategy::LvfLabelShare,
+        Strategy::LowestCostFirst,
+    ] {
         let s = scenario(50, 0.4);
         let r = run_scenario(&s, RunOptions::new(strategy));
         assert!(r.resolved > 0, "{strategy}: nothing resolved");
@@ -132,7 +140,10 @@ fn distrust_forces_raw_data() {
     let mut opts = RunOptions::new(Strategy::LvfLabelShare);
     opts.trust = TrustPolicy::TrustNone;
     let r = run_scenario(&s, opts);
-    assert_eq!(r.label_hits, 0, "distrusting nodes must not consume shared labels");
+    assert_eq!(
+        r.label_hits, 0,
+        "distrusting nodes must not consume shared labels"
+    );
     assert_eq!(r.resolved + r.missed, r.total_queries);
 }
 

@@ -76,6 +76,7 @@ fn approx_scenario() -> Scenario {
         world,
         catalog,
         queries,
+        faults: dde_netsim::fault::FaultSchedule::new(),
     }
 }
 
@@ -144,7 +145,9 @@ fn corroboration_recovers_accuracy_under_biased_sources() {
     let mut single = 0.0;
     let mut triple = 0.0;
     let mut n = 0.0;
-    for seed in 0..4 {
+    // Averaged over enough seeds for the corroboration effect to dominate
+    // per-seed noise (a 4-seed window is swung by individual scenarios).
+    for seed in 0..16 {
         let r1 = biased_run(1, 100 + seed);
         let r3 = biased_run(3, 100 + seed);
         assert_eq!(r1.resolved + r1.missed, r1.total_queries);

@@ -3,6 +3,8 @@
 
 use dde_core::annotate::{LyingAnnotator, NoisyAnnotator};
 use dde_core::prelude::*;
+use dde_logic::time::SimTime;
+use dde_netsim::fault::FaultSchedule;
 use dde_netsim::topology::{LinkSpec, NodeId, Topology};
 use dde_workload::prelude::*;
 use std::sync::Arc;
@@ -37,7 +39,10 @@ fn lossy_links_degrade_but_do_not_wedge() {
     // Loss can only hurt.
     assert!(lossy.resolved <= clean.resolved);
     // Retries keep some queries alive even at 30% loss.
-    assert!(lossy.resolved > 0, "30% loss should not zero out resolution");
+    assert!(
+        lossy.resolved > 0,
+        "30% loss should not zero out resolution"
+    );
 }
 
 #[test]
@@ -91,11 +96,8 @@ fn dead_source_node_causes_misses_not_hangs() {
 #[test]
 fn lying_annotator_destroys_accuracy_but_not_liveness() {
     let s = scenario(4);
-    let r = run_scenario_with_annotator(
-        &s,
-        RunOptions::new(Strategy::Lvf),
-        Arc::new(LyingAnnotator),
-    );
+    let r =
+        run_scenario_with_annotator(&s, RunOptions::new(Strategy::Lvf), Arc::new(LyingAnnotator));
     assert_eq!(r.resolved + r.missed, r.total_queries);
     assert!(r.resolved > 0);
     // With inverted labels, decisions are mostly wrong.
@@ -122,6 +124,116 @@ fn noisy_annotator_degrades_accuracy_smoothly() {
         "20% flips should not destroy everything: {:.2}",
         noisy.accuracy()
     );
+}
+
+/// Node hosting the most catalog objects — the highest-impact crash victim.
+fn busiest_source(s: &Scenario) -> NodeId {
+    let mut counts = vec![0usize; s.topology.len()];
+    for o in s.catalog.objects() {
+        counts[o.source.index()] += 1;
+    }
+    NodeId(
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .expect("nodes exist"),
+    )
+}
+
+#[test]
+fn crashed_evidence_source_mid_transfer_degrades_not_wedges() {
+    let s = scenario(7);
+    let victim = busiest_source(&s);
+    let mut options = RunOptions::new(Strategy::Lvf);
+    // Crash while the first wave of fetches is in flight; recover late
+    // enough that stalled queries must ride through the retry path.
+    options.faults.crash_at(SimTime::from_secs(2), victim);
+    options.faults.recover_at(SimTime::from_secs(70), victim);
+    let r = run_scenario(&s, options);
+    assert_eq!(
+        r.resolved + r.missed,
+        r.total_queries,
+        "query lost by crash"
+    );
+    assert_eq!(r.fault_events, 2);
+    assert!(
+        r.resolved > 0,
+        "one crashed source must not zero out resolution"
+    );
+    // The schedule is part of the options, so the same run replays exactly.
+    let mut options2 = RunOptions::new(Strategy::Lvf);
+    options2.faults.crash_at(SimTime::from_secs(2), victim);
+    options2.faults.recover_at(SimTime::from_secs(70), victim);
+    assert_eq!(r, run_scenario(&s, options2));
+}
+
+#[test]
+fn crashed_query_origin_still_accounts_every_query() {
+    let s = scenario(8);
+    let origin = s.queries.first().expect("queries exist").origin;
+    let mut options = RunOptions::new(Strategy::Lvf);
+    // The origin dies shortly into its own query and never comes back:
+    // its queries must show up as misses (or earlier decisions), never
+    // vanish from the report.
+    options.faults.crash_at(SimTime::from_secs(3), origin);
+    let r = run_scenario(&s, options);
+    assert_eq!(r.resolved + r.missed, r.total_queries);
+    assert_eq!(
+        r.queries.len(),
+        r.total_queries,
+        "per-query records must survive an origin crash"
+    );
+}
+
+#[test]
+fn full_partition_healed_before_deadline_degrades_gracefully() {
+    let s = scenario(9);
+    // Split the network in half at 5 s, heal it at 60 s — well inside the
+    // 180 s deadlines, so retries can finish the job after the heal.
+    let side: Vec<NodeId> = (0..s.topology.len() / 2).map(NodeId).collect();
+    let mut options = RunOptions::new(Strategy::Lvf);
+    options
+        .faults
+        .merge(&FaultSchedule::partition_at(
+            &s.topology,
+            SimTime::from_secs(5),
+            &side,
+        ))
+        .merge(&FaultSchedule::heal_partition_at(
+            &s.topology,
+            SimTime::from_secs(60),
+            &side,
+        ));
+    let r = run_scenario(&s, options);
+    assert_eq!(r.resolved + r.missed, r.total_queries);
+    assert!(
+        r.resolved > 0,
+        "a healed partition must leave time to resolve queries"
+    );
+    let clean = run_scenario(&s, RunOptions::new(Strategy::Lvf));
+    assert!(
+        r.total_bytes > 0 && r.resolved <= clean.resolved,
+        "a partition can only hurt resolution ({} vs {})",
+        r.resolved,
+        clean.resolved
+    );
+}
+
+#[test]
+fn crash_wipes_cache_knob_changes_recovery_but_not_accounting() {
+    let s = scenario(10);
+    let victim = busiest_source(&s);
+    let mut keep = RunOptions::new(Strategy::LvfLabelShare);
+    keep.faults.crash_at(SimTime::from_secs(2), victim);
+    keep.faults.recover_at(SimTime::from_secs(20), victim);
+    let mut wipe = keep.clone();
+    wipe.crash_wipes_cache = true;
+    let r_keep = run_scenario(&s, keep);
+    let r_wipe = run_scenario(&s, wipe);
+    assert_eq!(r_keep.resolved + r_keep.missed, r_keep.total_queries);
+    assert_eq!(r_wipe.resolved + r_wipe.missed, r_wipe.total_queries);
 }
 
 #[test]

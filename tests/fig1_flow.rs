@@ -52,6 +52,7 @@ fn fig1_scenario() -> Scenario {
         world,
         catalog,
         queries,
+        faults: dde_netsim::fault::FaultSchedule::new(),
     }
 }
 

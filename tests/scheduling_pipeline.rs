@@ -127,8 +127,7 @@ fn cover_then_schedule_round_trip() {
                 )
             })
             .collect();
-        let order =
-            greedy_validity_shortcircuit(&items, channel, q.issue_at, q.deadline);
+        let order = greedy_validity_shortcircuit(&items, channel, q.issue_at, q.deadline);
         assert_eq!(order.len(), items.len());
         // If LVF can meet the constraints, the hybrid order does too.
         if schedulable(&items, channel, q.issue_at, q.deadline) {

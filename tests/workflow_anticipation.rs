@@ -30,9 +30,21 @@ fn doctrine(scenario: &Scenario) -> Doctrine {
     let deadline = SimDuration::from_secs(120);
     Doctrine::new(
         vec![
-            DecisionTemplate { name: "recon".into(), expr: q(0, 1), deadline },
-            DecisionTemplate { name: "assess".into(), expr: q(2, 3), deadline },
-            DecisionTemplate { name: "act".into(), expr: q(4, 5), deadline },
+            DecisionTemplate {
+                name: "recon".into(),
+                expr: q(0, 1),
+                deadline,
+            },
+            DecisionTemplate {
+                name: "assess".into(),
+                expr: q(2, 3),
+                deadline,
+            },
+            DecisionTemplate {
+                name: "act".into(),
+                expr: q(4, 5),
+                deadline,
+            },
         ],
         vec![
             vec![0.0, 1.0, 0.0],
@@ -136,8 +148,7 @@ fn mined_model_predicts_doctrine() {
 
 #[test]
 fn predictive_announcements_do_not_hurt() {
-    let scenario =
-        Scenario::build(ScenarioConfig::small().with_seed(13).with_fast_ratio(0.2));
+    let scenario = Scenario::build(ScenarioConfig::small().with_seed(13).with_fast_ratio(0.2));
     let d = doctrine(&scenario);
     let mut rng = SmallRng::seed_from_u64(2);
     let mut model = WorkflowModel::new(3);

@@ -1,0 +1,747 @@
+//! Vendored, self-contained subset of the `proptest` API.
+//!
+//! This workspace builds offline, so the external `proptest` crate is
+//! replaced by this minimal property-testing engine covering exactly the
+//! surface the workspace's tests use: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, [`strategy::Strategy`] with
+//! `prop_map`/`prop_recursive`/`boxed`, [`prop_oneof!`], `Just`, `any`,
+//! numeric-range strategies, a character-class string-regex subset,
+//! tuple/vec/btree_set combinators, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream: cases are generated from a fixed per-test
+//! seed (derived from the test's name, no OS entropy — every run replays
+//! the identical case sequence), and failing cases are reported but *not*
+//! shrunk. For this repository's invariant-style properties that trade-off
+//! buys full determinism, which the simulator work requires.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Runner configuration and failure type.
+
+    use core::fmt;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (carried by `prop_assert!`-style macros).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail<S: Into<String>>(message: S) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Result type of a property body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic generator driving all strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9e3779b97f4a7c15,
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % bound) - 1;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a hash of a test's name: the per-test seed.
+    pub fn seed_of(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and
+        /// `recurse` lifts a strategy for subtrees into one for branches,
+        /// applied up to `depth` levels. The `_desired_size` and
+        /// `_expected_branch_size` hints are accepted for upstream API
+        /// compatibility but unused here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut cur = base.clone();
+            for _ in 0..depth {
+                let branch = recurse(cur).boxed();
+                cur = Union::new(vec![base.clone(), branch]).boxed();
+            }
+            cur
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// Character-class regex subset for `&str` strategies: a sequence of
+    /// `[class]{m}`, `[class]{m,n}`, or literal characters, where a class
+    /// holds literal characters and `a-z` ranges.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (alphabet, next) = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                (parse_class(&chars[i + 1..close]), close + 1)
+            } else {
+                (vec![chars[i]], i + 1)
+            };
+            let (reps, next) = parse_reps(&chars, next, pattern);
+            assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+            for _ in 0..reps.sample(rng) {
+                out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+            }
+            i = next;
+        }
+        out
+    }
+
+    fn parse_class(body: &[char]) -> Vec<char> {
+        let mut alphabet = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            if j + 2 < body.len() && body[j + 1] == '-' {
+                let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                assert!(lo <= hi, "inverted class range");
+                alphabet.extend((lo..=hi).filter_map(char::from_u32));
+                j += 3;
+            } else {
+                alphabet.push(body[j]);
+                j += 1;
+            }
+        }
+        alphabet
+    }
+
+    struct Reps {
+        min: u64,
+        max: u64,
+    }
+
+    impl Reps {
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            self.min + rng.below(self.max - self.min + 1)
+        }
+    }
+
+    fn parse_reps(chars: &[char], at: usize, pattern: &str) -> (Reps, usize) {
+        if at >= chars.len() || chars[at] != '{' {
+            return (Reps { min: 1, max: 1 }, at);
+        }
+        let close = chars[at..]
+            .iter()
+            .position(|&c| c == '}')
+            .map(|p| at + p)
+            .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"));
+        let body: String = chars[at + 1..close].iter().collect();
+        let (min, max) = match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("repetition min"),
+                hi.trim().parse().expect("repetition max"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("repetition count");
+                (n, n)
+            }
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        (Reps { min, max }, close + 1)
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// Collection strategies (`prop::collection`).
+    pub mod collection {
+        use super::{Strategy, TestRng};
+        use core::ops::Range;
+        use std::collections::BTreeSet;
+
+        /// Accepted collection-size specifications: an exact length or a
+        /// half-open range of lengths.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange(Range<usize>);
+
+        impl From<usize> for SizeRange {
+            fn from(exact: usize) -> SizeRange {
+                SizeRange(exact..exact + 1)
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(range: Range<usize>) -> SizeRange {
+                assert!(range.start < range.end, "empty collection size range");
+                SizeRange(range)
+            }
+        }
+
+        impl SizeRange {
+            fn sample(&self, rng: &mut TestRng) -> usize {
+                let span = (self.0.end - self.0.start) as u64;
+                self.0.start + rng.below(span) as usize
+            }
+        }
+
+        /// Generates `Vec`s whose length is drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Generates `BTreeSet`s targeting a size drawn from `size`
+        /// (best-effort when the element domain is small).
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.sample(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// See [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let target = self.size.sample(rng);
+                let mut out = BTreeSet::new();
+                // Small element domains may not admit `target` distinct
+                // values; bail out after a bounded number of attempts.
+                let mut budget = target * 16 + 16;
+                while out.len() < target && budget > 0 {
+                    out.insert(self.element.generate(rng));
+                    budget -= 1;
+                }
+                out
+            }
+        }
+    }
+
+    pub use collection::{BTreeSetStrategy, VecStrategy};
+
+    /// Strategy behind [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+        generate: fn(&mut TestRng) -> T,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new(generate: fn(&mut TestRng) -> T) -> Any<T> {
+            Any {
+                _marker: core::marker::PhantomData,
+                generate,
+            }
+        }
+    }
+
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.generate)(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point.
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Returns the canonical strategy for `Self`.
+        fn arbitrary() -> Any<Self>;
+    }
+
+    macro_rules! arbitrary_impl {
+        ($($t:ty => $f:expr),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> Any<$t> {
+                    Any::new($f)
+                }
+            }
+        )*};
+    }
+
+    arbitrary_impl! {
+        bool => |rng: &mut TestRng| rng.next_u64() & 1 == 1,
+        u8 => |rng: &mut TestRng| rng.next_u64() as u8,
+        u16 => |rng: &mut TestRng| rng.next_u64() as u16,
+        u32 => |rng: &mut TestRng| rng.next_u64() as u32,
+        u64 => |rng: &mut TestRng| rng.next_u64(),
+        usize => |rng: &mut TestRng| rng.next_u64() as usize,
+        i32 => |rng: &mut TestRng| rng.next_u64() as i32,
+        i64 => |rng: &mut TestRng| rng.next_u64() as i64,
+        f64 => |rng: &mut TestRng| rng.unit_f64(),
+    }
+
+    /// The canonical strategy for `T` (upstream `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        T::arbitrary()
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module-style access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::strategy::collection;
+    }
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Fails the current property case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::new(
+                $crate::test_runner::seed_of(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for case in 0..config.cases {
+                $(let $pat = ($strategy).generate(&mut rng);)+
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_shapes() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-c]{1,2}".generate(&mut rng);
+            assert!((1..=2).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            let t = "[a-z0-9_.-]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&t.len()), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{seed_of, TestRng};
+        let strat = prop::collection::vec(0u64..100, 1..8);
+        let mut a = TestRng::new(seed_of("x"));
+        let mut b = TestRng::new(seed_of("x"));
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline itself: ranges stay in bounds.
+        #[test]
+        fn macro_smoke(x in 3u64..9, v in prop::collection::vec(0usize..5, 1..4), flip in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            let _ = flip;
+            if x == 0 {
+                return Ok(());
+            }
+        }
+
+        /// Union + map + recursion combinators generate without panicking.
+        #[test]
+        fn combinators_smoke(depth in 0usize..3) {
+            let strat = prop_oneof![Just(1u32), Just(2u32), 3u32..10]
+                .prop_map(|v| v * 2)
+                .boxed();
+            let mut rng = crate::test_runner::TestRng::new(depth as u64);
+            use crate::strategy::Strategy;
+            let v = strat.generate(&mut rng);
+            prop_assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Vendored, self-contained subset of the `serde` API.
+//!
+//! This workspace builds offline, so the external `serde` crate is replaced
+//! by this minimal trait skeleton covering exactly what the workspace uses:
+//! hand-written `Serialize`/`Deserialize` impls for string-shaped newtypes
+//! (see `dde-logic`'s `Label`). There is no derive macro and no data-format
+//! backend here; the traits exist so those impls keep compiling and so a
+//! real serializer can be dropped in later without touching call sites.
+
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// Errors produced while serializing or deserializing.
+pub trait Error: Sized + fmt::Debug + fmt::Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Writes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization backend (string-shaped subset).
+pub trait Serializer: Sized {
+    /// Value returned on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Reads a value out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A deserialization backend (string-shaped subset).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produces an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<String, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Msg(String);
+
+    impl fmt::Display for Msg {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl Error for Msg {
+        fn custom<T: fmt::Display>(msg: T) -> Msg {
+            Msg(msg.to_string())
+        }
+    }
+
+    /// A toy serializer proving the traits are implementable end to end.
+    struct StrOut;
+
+    impl Serializer for StrOut {
+        type Ok = String;
+        type Error = Msg;
+        fn serialize_str(self, v: &str) -> Result<String, Msg> {
+            Ok(v.to_string())
+        }
+    }
+
+    struct StrIn(&'static str);
+
+    impl<'de> Deserializer<'de> for StrIn {
+        type Error = Msg;
+        fn deserialize_string(self) -> Result<String, Msg> {
+            Ok(self.0.to_string())
+        }
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let out = "hello".serialize(StrOut).unwrap();
+        assert_eq!(out, "hello");
+        let back = String::deserialize(StrIn("hello")).unwrap();
+        assert_eq!(back, "hello");
+    }
+}
