@@ -22,6 +22,8 @@
 //! Usage: `cargo run -p dde-bench --bin ablations --release`
 //! Knobs: `DDE_REPS` (default 5), `DDE_SCALE`, `DDE_SEED`.
 
+// Bench binary: env knobs and wall-clock timing are out-of-simulation.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use dde_bench::{stat, HarnessConfig};
 use dde_core::annotate::TrustPolicy;
 use dde_core::engine::{run_scenario, RunOptions, RunReport};

@@ -4,6 +4,8 @@
 //! Usage: `cargo run -p dde-bench --bin fig2 --release`
 //! Knobs: `DDE_REPS` (default 10), `DDE_SCALE` (`paper`/`small`), `DDE_SEED`.
 
+// Bench binary: env knobs and wall-clock timing are out-of-simulation.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use dde_bench::{print_table, sweep, HarnessConfig};
 
 fn main() {

@@ -10,6 +10,8 @@
 //! Usage: `cargo run -p dde-bench --bin resilience --release`
 //! Knobs: `DDE_REPS` (default 5), `DDE_SCALE` (`paper`/`small`), `DDE_SEED`.
 
+// Bench binary: env knobs and wall-clock timing are out-of-simulation.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use dde_bench::{stat, HarnessConfig, Stat};
 use dde_core::engine::{run_scenario, RunOptions, RunReport};
 use dde_core::strategy::Strategy;

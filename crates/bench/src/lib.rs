@@ -8,7 +8,9 @@
 //! one implementation.
 
 #![warn(missing_docs)]
-
+// The bench harness runs outside the replayed simulation: it reads env
+// knobs and may time wall-clock (see clippy.toml).
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use dde_core::engine::{run_scenario, RunOptions, RunReport};
 use dde_core::strategy::Strategy;
 use dde_workload::scenario::{Scenario, ScenarioConfig};

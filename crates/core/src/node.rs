@@ -32,7 +32,7 @@ use dde_sched::item::Channel;
 use dde_workload::catalog::Catalog;
 use dde_workload::scenario::QueryInstance;
 use dde_workload::world::WorldModel;
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Timer tag for the housekeeping tick.
@@ -236,9 +236,9 @@ pub struct AthenaNode {
     /// Background prefetch queue (processed when foreground is idle).
     prefetch_queue: VecDeque<PushTask>,
     /// Last push per (object, next hop), for dedup.
-    recent_pushes: HashMap<(Name, NodeId), SimTime>,
+    recent_pushes: BTreeMap<(Name, NodeId), SimTime>,
     /// Recently forwarded background names per next hop (for §V-B triage).
-    recent_bg: HashMap<NodeId, Vec<(Name, SimTime)>>,
+    recent_bg: BTreeMap<NodeId, Vec<(Name, SimTime)>>,
     /// Corroboration votes per (query, label): evidence *source* →
     /// judgment. Keyed by source node, not object, so that two views from
     /// the same (possibly compromised) sensor host count once (§IV-B).
@@ -269,8 +269,8 @@ impl AthenaNode {
             labels: BTreeMap::new(),
             pit: Pit::new(),
             prefetch_queue: VecDeque::new(),
-            recent_pushes: HashMap::new(),
-            recent_bg: HashMap::new(),
+            recent_pushes: BTreeMap::new(),
+            recent_bg: BTreeMap::new(),
             votes: BTreeMap::new(),
             reliability: BTreeMap::new(),
             tick_armed: false,
@@ -450,13 +450,13 @@ impl AthenaNode {
             .filter(|(v, _, _)| *v == majority)
             .max_by_key(|(_, t, _)| *t)
             .copied()
-            .expect("majority side is non-empty");
-        // Evidence attribution: name an object from an agreeing source.
+            .expect("majority side is non-empty"); // lint: allow(panic) — the majority was computed from these votes
+                                                   // Evidence attribution: name an object from an agreeing source.
         let agreeing_source = entry
             .iter()
             .find(|(_, (v, _, _))| *v == majority)
             .map(|(src, _)| *src)
-            .expect("majority side is non-empty");
+            .expect("majority side is non-empty"); // lint: allow(panic) — the majority was computed from these votes
         let based_on = self
             .shared
             .catalog
@@ -465,7 +465,7 @@ impl AthenaNode {
             .map(|&i| self.shared.catalog.get(i))
             .find(|spec| spec.source == agreeing_source)
             .map(|spec| spec.name.clone())
-            .expect("agreeing source provides the label");
+            .expect("agreeing source provides the label"); // lint: allow(panic) — votes come only from providers of this label
         for (source, (v, _, _)) in &entry {
             let slot = self.reliability.entry(*source).or_insert((0, 0));
             if *v == majority {
@@ -622,7 +622,7 @@ impl AthenaNode {
 
         for qid in qids {
             loop {
-                let q = self.queries.get_mut(&qid).expect("query exists");
+                let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                 if q.check(now).is_final() {
                     break;
                 }
@@ -630,9 +630,9 @@ impl AthenaNode {
                 if q.outstanding.is_some() && !q.outstanding_timed_out(now, retry) {
                     break;
                 }
-                let (candidates, _) = self.plans.get(&qid).expect("plan exists");
+                let (candidates, _) = self.plans.get(&qid).expect("plan exists"); // lint: allow(panic) — a plan is installed alongside every local query
                 let Some((idx, label)) = strategy.next_request(
-                    self.queries.get(&qid).expect("query exists"),
+                    self.queries.get(&qid).expect("query exists"), // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                     candidates,
                     self.catalog(),
                     me,
@@ -665,7 +665,7 @@ impl AthenaNode {
                 let spec = self.catalog().get(chosen).clone();
                 // Bookkeeping: chasing a label whose previous value expired.
                 {
-                    let q = self.queries.get_mut(&qid).expect("query exists");
+                    let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                     if q.assignment.get(&label).is_some()
                         && !q.assignment.value_at(&label, now).is_known()
                     {
@@ -681,7 +681,7 @@ impl AthenaNode {
                             && self.shared.config.trust.accepts(c.annotator)
                         {
                             let (value, sampled_at, validity) = (c.value, c.sampled_at, c.validity);
-                            let q = self.queries.get_mut(&qid).expect("query exists");
+                            let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                             q.record_label(&label, value, sampled_at, validity);
                             q.counters.labels_from_shares += 1;
                             continue;
@@ -692,7 +692,7 @@ impl AthenaNode {
                 if let Some(stored) = self.content.get_fresh(&spec.name, now) {
                     let object = stored.value.clone();
                     self.annotate_object(ctx, &object);
-                    let q = self.queries.get_mut(&qid).expect("query exists");
+                    let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                     if !q.assignment.value_at(&label, now).is_known() && k == 1 {
                         // Annotation failed to resolve the label (cannot
                         // happen with covering objects); avoid spinning.
@@ -713,7 +713,7 @@ impl AthenaNode {
                         object.validity,
                     );
                     self.stats.local_samples += 1;
-                    let q = self.queries.get_mut(&qid).expect("query exists");
+                    let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                     q.counters.labels_from_local += 1;
                     self.annotate_object(ctx, &object);
                     continue;
@@ -722,7 +722,7 @@ impl AthenaNode {
                 // still-unknown label this object can resolve, so that an
                 // intermediate node may answer with labels only if it can
                 // supply all of them.
-                let q_ref = self.queries.get(&qid).expect("query exists");
+                let q_ref = self.queries.get(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                 let mut wanted: Vec<Label> = spec
                     .covers
                     .iter()
@@ -747,7 +747,7 @@ impl AthenaNode {
                     (qid, wanted.clone()),
                     now + self.shared.config.interest_lifetime,
                 );
-                let q = self.queries.get_mut(&qid).expect("query exists");
+                let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                 q.outstanding = Some(Outstanding {
                     name: spec.name.clone(),
                     wanted: wanted.clone(),
@@ -769,7 +769,7 @@ impl AthenaNode {
                 break;
             }
             // Final check after the burst of local progress.
-            let q = self.queries.get_mut(&qid).expect("query exists");
+            let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
             q.check(now);
         }
         if self.has_pending_work(now) {
@@ -866,7 +866,7 @@ impl AthenaNode {
             if !usable.is_empty() {
                 self.stats.label_hits += 1;
                 for l in &usable {
-                    let c = self.labels.get(l).expect("checked above").clone();
+                    let c = self.labels.get(l).expect("checked above").clone(); // lint: allow(panic) — presence and usability checked just above
                     ctx.send(
                         from,
                         AthenaMsg::LabelShare {
@@ -941,7 +941,7 @@ impl AthenaNode {
                 .iter()
                 .copied()
                 .find(|&i| self.catalog().get(i).name == name)
-                .expect("own object is indexed");
+                .expect("own object is indexed"); // lint: allow(panic) — the catalog indexes every object it assigned to this node
             let object = self.sample_object(idx, now);
             self.content.insert(
                 &object.name.clone(),

@@ -23,9 +23,7 @@ pub fn aggregate_select<Id>(needed: &BTreeSet<Label>, sources: &[Source<Id>]) ->
     order.sort_by(|&a, &b| {
         let ra = ratio(&sources[a]);
         let rb = ratio(&sources[b]);
-        ra.partial_cmp(&rb)
-            .unwrap_or(core::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        ra.total_cmp(&rb).then(a.cmp(&b))
     });
 
     let mut chosen = Vec::new();

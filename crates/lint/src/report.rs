@@ -1,0 +1,271 @@
+//! Diagnostics and report rendering (`--format text|json`).
+
+use std::fmt;
+
+/// One of the four enforced rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// R1: no `HashMap`/`HashSet` state in simulator-state crates.
+    HashState,
+    /// R2: no ambient nondeterminism outside the bench harness.
+    AmbientNondeterminism,
+    /// R3: no `partial_cmp`-based float ordering.
+    FloatOrder,
+    /// R4: no `unwrap`/`expect` in library non-test code without a marker.
+    Panic,
+}
+
+impl RuleId {
+    /// All rules, in R1..R4 order.
+    pub const ALL: [RuleId; 4] = [
+        RuleId::HashState,
+        RuleId::AmbientNondeterminism,
+        RuleId::FloatOrder,
+        RuleId::Panic,
+    ];
+
+    /// Short code, `R1`..`R4`.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::HashState => "R1",
+            RuleId::AmbientNondeterminism => "R2",
+            RuleId::FloatOrder => "R3",
+            RuleId::Panic => "R4",
+        }
+    }
+
+    /// Stable slug used in `lint.toml` tables and `// lint: allow(..)`
+    /// markers.
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::HashState => "no-hash-state",
+            RuleId::AmbientNondeterminism => "no-ambient-nondeterminism",
+            RuleId::FloatOrder => "float-order",
+            RuleId::Panic => "no-panic",
+        }
+    }
+
+    /// The token accepted inside an inline `// lint: allow(<token>)` marker.
+    pub fn marker_token(self) -> &'static str {
+        match self {
+            RuleId::HashState => "hash-state",
+            RuleId::AmbientNondeterminism => "nondeterminism",
+            RuleId::FloatOrder => "float-order",
+            RuleId::Panic => "panic",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.code(), self.slug())
+    }
+}
+
+/// Why a finding is tolerated rather than counted as a violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllowSource {
+    /// An inline `// lint: allow(<rule>) — <reason>` marker.
+    Marker {
+        /// The reason text after the marker, if any.
+        reason: String,
+    },
+    /// A `lint.toml` allowlist entry.
+    Config {
+        /// The matching allowlist entry.
+        entry: String,
+    },
+}
+
+/// One finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The offending token or pattern, e.g. `.unwrap()`.
+    pub snippet: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+    /// `Some(..)` when the finding is tolerated (marker or allowlist);
+    /// `None` when it is a violation.
+    pub allowed: Option<AllowSource>,
+}
+
+impl Diagnostic {
+    /// Whether this finding counts against the exit code.
+    pub fn is_violation(&self) -> bool {
+        self.allowed.is_none()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn diag_json(d: &Diagnostic) -> String {
+    let mut fields = vec![
+        format!("\"rule\":\"{}\"", d.rule.code()),
+        format!("\"name\":\"{}\"", d.rule.slug()),
+        format!("\"path\":\"{}\"", json_escape(&d.path)),
+        format!("\"line\":{}", d.line),
+        format!("\"col\":{}", d.col),
+        format!("\"snippet\":\"{}\"", json_escape(&d.snippet)),
+        format!("\"message\":\"{}\"", json_escape(&d.message)),
+    ];
+    match &d.allowed {
+        None => {}
+        Some(AllowSource::Marker { reason }) => {
+            fields.push("\"allowed_by\":\"marker\"".to_string());
+            fields.push(format!("\"reason\":\"{}\"", json_escape(reason)));
+        }
+        Some(AllowSource::Config { entry }) => {
+            fields.push("\"allowed_by\":\"config\"".to_string());
+            fields.push(format!("\"entry\":\"{}\"", json_escape(entry)));
+        }
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders the full report as deterministic, line-oriented JSON: violations,
+/// the allowlist inventory (R4's machine-readable allow report), and
+/// per-rule summary counts.
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let violations: Vec<&Diagnostic> = diags.iter().filter(|d| d.is_violation()).collect();
+    let allowed: Vec<&Diagnostic> = diags.iter().filter(|d| !d.is_violation()).collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    let summary: Vec<String> = RuleId::ALL
+        .iter()
+        .map(|r| {
+            let v = violations.iter().filter(|d| d.rule == *r).count();
+            let a = allowed.iter().filter(|d| d.rule == *r).count();
+            format!(
+                "\"{}\":{{\"violations\":{},\"allowed\":{}}}",
+                r.code(),
+                v,
+                a
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"summary\": {{{}}},\n", summary.join(",")));
+    out.push_str("  \"violations\": [\n");
+    for (i, d) in violations.iter().enumerate() {
+        let sep = if i + 1 < violations.len() { "," } else { "" };
+        out.push_str(&format!("    {}{}\n", diag_json(d), sep));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"allowed\": [\n");
+    for (i, d) in allowed.iter().enumerate() {
+        let sep = if i + 1 < allowed.len() { "," } else { "" };
+        out.push_str(&format!("    {}{}\n", diag_json(d), sep));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the report as human-oriented text.
+pub fn render_text(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    let mut violations = 0usize;
+    let mut allowed = 0usize;
+    for d in diags {
+        match &d.allowed {
+            None => {
+                violations += 1;
+                out.push_str(&format!(
+                    "{}:{}:{}: {}: {} [{}]\n",
+                    d.path, d.line, d.col, d.rule, d.message, d.snippet
+                ));
+            }
+            Some(AllowSource::Marker { reason }) => {
+                allowed += 1;
+                out.push_str(&format!(
+                    "{}:{}:{}: {}: allowed by marker — {}\n",
+                    d.path,
+                    d.line,
+                    d.col,
+                    d.rule,
+                    if reason.is_empty() {
+                        "(no reason)"
+                    } else {
+                        reason
+                    }
+                ));
+            }
+            Some(AllowSource::Config { entry }) => {
+                allowed += 1;
+                out.push_str(&format!(
+                    "{}:{}:{}: {}: allowed by lint.toml entry `{}`\n",
+                    d.path, d.line, d.col, d.rule, entry
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "dde-lint: {files_scanned} files scanned, {violations} violation(s), {allowed} allowed\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: RuleId, allowed: Option<AllowSource>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            snippet: ".unwrap()".into(),
+            message: "no panics \"here\"".into(),
+            allowed,
+        }
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_escaped() {
+        let diags = vec![
+            diag(RuleId::Panic, None),
+            diag(
+                RuleId::Panic,
+                Some(AllowSource::Marker {
+                    reason: "checked above".into(),
+                }),
+            ),
+        ];
+        let json = render_json(&diags, 2);
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("no panics \\\"here\\\""));
+        assert!(json.contains("\"allowed_by\":\"marker\""));
+        assert!(json.contains("\"R4\":{\"violations\":1,\"allowed\":1}"));
+    }
+
+    #[test]
+    fn text_report_counts() {
+        let diags = vec![diag(RuleId::FloatOrder, None)];
+        let text = render_text(&diags, 1);
+        assert!(text.contains("R3/float-order"));
+        assert!(text.contains("1 violation(s), 0 allowed"));
+    }
+}

@@ -1,0 +1,382 @@
+//! The four rule passes (R1–R4) over a parsed [`SourceFile`].
+
+use crate::config::Config;
+use crate::engine::{significant, SourceFile};
+use crate::report::{AllowSource, Diagnostic, RuleId};
+use syn::TokenKind;
+
+/// Ambient-nondeterminism method paths flagged by R2, as `TYPE::method`
+/// pairs; `None` matches a bare identifier (free fn or import).
+const NONDET_PATHS: &[(Option<&str>, &str)] = &[
+    (Some("Instant"), "now"),
+    (Some("SystemTime"), "now"),
+    (None, "thread_rng"),
+    (None, "from_entropy"),
+    (Some("env"), "var"),
+    (Some("env"), "var_os"),
+    (Some("env"), "vars"),
+    (Some("env"), "args"),
+    (Some("env"), "current_dir"),
+    (Some("env"), "temp_dir"),
+];
+
+struct Finding {
+    rule: RuleId,
+    tok_idx: usize,
+    snippet: String,
+    message: String,
+}
+
+/// Runs every applicable rule over `file`, resolving inline markers and
+/// `lint.toml` allowlist entries into [`Diagnostic::allowed`].
+pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    if cfg.state_crates.contains(&file.crate_name) {
+        rule_hash_state(file, &mut findings);
+    }
+    if !cfg.nondet_exempt_crates.contains(&file.crate_name) {
+        rule_ambient_nondeterminism(file, &mut findings);
+    }
+    rule_float_order(file, &mut findings);
+    if cfg.library_crates.contains(&file.crate_name) {
+        rule_panic(file, &mut findings);
+    }
+    findings
+        .into_iter()
+        .map(|f| {
+            let tok = &file.tokens()[f.tok_idx];
+            let allowed = file
+                .marker_for(f.rule, tok.line)
+                .map(|reason| AllowSource::Marker {
+                    reason: reason.to_string(),
+                })
+                .or_else(|| {
+                    cfg.allows(f.rule, &file.path, tok.line)
+                        .map(|entry| AllowSource::Config {
+                            entry: entry.to_string(),
+                        })
+                });
+            Diagnostic {
+                rule: f.rule,
+                path: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                snippet: f.snippet,
+                message: f.message,
+                allowed,
+            }
+        })
+        .collect()
+}
+
+/// R1: any `HashMap`/`HashSet` mention in non-test code of a state crate.
+/// Flagging the *type name* (imports included) rather than iteration sites
+/// is deliberate: hash-ordered state is a replay hazard the moment it
+/// exists, not only once someone iterates it.
+fn rule_hash_state(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, t) in file.tokens().iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !file.in_test(i)
+        {
+            out.push(Finding {
+                rule: RuleId::HashState,
+                tok_idx: i,
+                snippet: t.text.clone(),
+                message: format!(
+                    "{} iteration order is seeded per instance and breaks \
+                     bit-identical replay; simulator state must use \
+                     BTreeMap/BTreeSet or an explicitly ordered wrapper",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// R2: `Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`,
+/// `env::*` reads in non-test code outside the bench harness.
+fn rule_ambient_nondeterminism(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = file.tokens();
+    let sig = significant(toks);
+    for (s, &i) in sig.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || file.in_test(i) {
+            continue;
+        }
+        for (qualifier, method) in NONDET_PATHS {
+            let hit = match qualifier {
+                None => t.text == *method,
+                Some(q) => {
+                    t.text == *q
+                        && sig.get(s + 1).is_some_and(|&j| toks[j].is_punct(":"))
+                        && sig.get(s + 2).is_some_and(|&j| toks[j].is_punct(":"))
+                        && sig.get(s + 3).is_some_and(|&j| toks[j].is_ident(method))
+                }
+            };
+            if hit {
+                let snippet = match qualifier {
+                    None => t.text.clone(),
+                    Some(q) => format!("{q}::{method}"),
+                };
+                out.push(Finding {
+                    rule: RuleId::AmbientNondeterminism,
+                    tok_idx: i,
+                    snippet: snippet.clone(),
+                    message: format!(
+                        "`{snippet}` injects wall-clock/entropy/environment \
+                         state into a simulation that must be a pure function \
+                         of its seed; thread time through SimTime and \
+                         randomness through the seeded SmallRng"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// R3: `.partial_cmp(..)` method calls in non-test code. The common
+/// `sort_by(|a, b| a.partial_cmp(b).unwrap_or(Equal))` idiom silently maps
+/// NaN to `Equal`, so the resulting order depends on input positions —
+/// a replay hazard for float-keyed scheduling decisions.
+fn rule_float_order(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = file.tokens();
+    let sig = significant(toks);
+    for (s, &i) in sig.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident
+            && t.text == "partial_cmp"
+            && s > 0
+            && toks[sig[s - 1]].is_punct(".")
+            && !file.in_test(i)
+        {
+            out.push(Finding {
+                rule: RuleId::FloatOrder,
+                tok_idx: i,
+                snippet: ".partial_cmp(..)".to_string(),
+                message: "partial_cmp is not a total order over floats (NaN \
+                          collapses to Equal, making the result \
+                          input-order-dependent); use f64::total_cmp or \
+                          dde_lint::total_cmp_f64"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R4: `.unwrap()` / `.expect(..)` in library non-test code without a
+/// `// lint: allow(panic) — <reason>` marker.
+fn rule_panic(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = file.tokens();
+    let sig = significant(toks);
+    for (s, &i) in sig.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident
+            || (t.text != "unwrap" && t.text != "expect")
+            || file.in_test(i)
+        {
+            continue;
+        }
+        let is_method_call = s > 0
+            && toks[sig[s - 1]].is_punct(".")
+            && sig
+                .get(s + 1)
+                .is_some_and(|&j| toks[j].kind == TokenKind::OpenDelim && toks[j].text == "(");
+        if is_method_call {
+            out.push(Finding {
+                rule: RuleId::Panic,
+                tok_idx: i,
+                snippet: format!(".{}(..)", t.text),
+                message: format!(
+                    "`.{}()` can panic in library code; return a typed error, \
+                     restructure to make the invariant explicit, or annotate \
+                     with `// lint: allow(panic) — <reason>`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let cfg = Config::default();
+        let sf = SourceFile::parse("crates/x/src/lib.rs", crate_name, false, src).unwrap();
+        check_file(&sf, &cfg)
+    }
+
+    fn violations(diags: &[Diagnostic], rule: RuleId) -> usize {
+        diags
+            .iter()
+            .filter(|d| d.rule == rule && d.is_violation())
+            .count()
+    }
+
+    // R1 ---------------------------------------------------------------
+
+    #[test]
+    fn r1_fires_on_hashmap_state_in_sim_crate() {
+        let diags = check(
+            "dde-netsim",
+            "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n",
+        );
+        assert_eq!(violations(&diags, RuleId::HashState), 2);
+        assert!(diags[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn r1_silent_on_btreemap_and_non_state_crates() {
+        let diags = check(
+            "dde-netsim",
+            "use std::collections::BTreeMap;\nstruct S { m: BTreeMap<u32, u32> }\n",
+        );
+        assert_eq!(violations(&diags, RuleId::HashState), 0);
+        // dde-logic is not a simulator-state crate.
+        let diags = check("dde-logic", "use std::collections::HashMap;\n");
+        assert_eq!(violations(&diags, RuleId::HashState), 0);
+    }
+
+    #[test]
+    fn r1_exempts_test_modules_and_honors_markers() {
+        let diags = check(
+            "dde-core",
+            "#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n",
+        );
+        assert_eq!(violations(&diags, RuleId::HashState), 0);
+        let diags = check(
+            "dde-core",
+            "// lint: allow(hash-state) — ordered wrapper below\nuse std::collections::HashMap;\n",
+        );
+        assert_eq!(violations(&diags, RuleId::HashState), 0);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.rule == RuleId::HashState && !d.is_violation())
+                .count(),
+            1
+        );
+    }
+
+    // R2 ---------------------------------------------------------------
+
+    #[test]
+    fn r2_fires_on_wall_clock_and_entropy() {
+        let diags = check(
+            "dde-core",
+            "fn f() { let t = Instant::now(); let r = rand::thread_rng(); }\n",
+        );
+        assert_eq!(violations(&diags, RuleId::AmbientNondeterminism), 2);
+        let diags = check("dde-logic", "fn f() { let v = std::env::var(\"X\"); }\n");
+        assert_eq!(violations(&diags, RuleId::AmbientNondeterminism), 1);
+    }
+
+    #[test]
+    fn r2_exempts_bench_and_simulated_time() {
+        let diags = check("dde-bench", "fn f() { let v = std::env::var(\"X\"); }\n");
+        assert_eq!(violations(&diags, RuleId::AmbientNondeterminism), 0);
+        // SimTime::now-like names don't match the TYPE::method patterns.
+        let diags = check("dde-core", "fn f(c: &Ctx) { let t = c.now(); }\n");
+        assert_eq!(violations(&diags, RuleId::AmbientNondeterminism), 0);
+    }
+
+    // R3 ---------------------------------------------------------------
+
+    #[test]
+    fn r3_fires_on_partial_cmp_calls_only() {
+        let diags = check(
+            "dde-sched",
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Equal)); }\n",
+        );
+        assert_eq!(violations(&diags, RuleId::FloatOrder), 1);
+        // A PartialOrd *impl* defines partial_cmp; it must not fire.
+        let diags = check(
+            "dde-netsim",
+            "impl PartialOrd for S { fn partial_cmp(&self, o: &S) -> Option<Ordering> { Some(self.cmp(o)) } }\n",
+        );
+        assert_eq!(violations(&diags, RuleId::FloatOrder), 0);
+    }
+
+    #[test]
+    fn r3_total_cmp_is_clean_and_marker_allows() {
+        let diags = check(
+            "dde-sched",
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }\n",
+        );
+        assert_eq!(violations(&diags, RuleId::FloatOrder), 0);
+        let diags = check(
+            "dde-sched",
+            "fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b); } // lint: allow(float-order) — ordering unused\n",
+        );
+        assert_eq!(violations(&diags, RuleId::FloatOrder), 0);
+    }
+
+    // R4 ---------------------------------------------------------------
+
+    #[test]
+    fn r4_fires_on_unwrap_and_expect_in_library_code() {
+        let diags = check("dde-core", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert_eq!(violations(&diags, RuleId::Panic), 1);
+        let diags = check(
+            "dde-naming",
+            "fn f(x: Option<u8>) -> u8 { x.expect(\"present\") }\n",
+        );
+        assert_eq!(violations(&diags, RuleId::Panic), 1);
+    }
+
+    #[test]
+    fn r4_negative_cases() {
+        // unwrap_or & friends are fine; so is test code; so is a marker.
+        let diags = check("dde-core", "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n");
+        assert_eq!(violations(&diags, RuleId::Panic), 0);
+        let diags = check(
+            "dde-core",
+            "#[cfg(test)]\nmod tests { fn f(x: Option<u8>) -> u8 { x.unwrap() } }\n",
+        );
+        assert_eq!(violations(&diags, RuleId::Panic), 0);
+        let diags = check(
+            "dde-core",
+            "fn f(x: Option<u8>) -> u8 {\n    // lint: allow(panic) — caller guarantees Some\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(violations(&diags, RuleId::Panic), 0);
+        let allowed: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == RuleId::Panic && !d.is_violation())
+            .collect();
+        assert_eq!(allowed.len(), 1);
+        // The reason survives into the machine-readable report.
+        assert!(matches!(
+            &allowed[0].allowed,
+            Some(AllowSource::Marker { reason }) if reason == "caller guarantees Some"
+        ));
+        // Strings mentioning unwrap don't fire.
+        let diags = check("dde-core", "fn f() { let s = \"x.unwrap()\"; }\n");
+        assert_eq!(violations(&diags, RuleId::Panic), 0);
+        // Non-library crates (bench, examples) are out of scope.
+        let diags = check("dde-bench", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert_eq!(violations(&diags, RuleId::Panic), 0);
+    }
+
+    #[test]
+    fn config_allowlist_suppresses() {
+        let mut cfg = Config::default();
+        cfg.allow
+            .insert(RuleId::Panic, vec!["src/lib.rs:1".to_string()]);
+        let sf = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "dde-core",
+            false,
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )
+        .unwrap();
+        let diags = check_file(&sf, &cfg);
+        assert_eq!(violations(&diags, RuleId::Panic), 0);
+        assert!(matches!(
+            &diags.iter().find(|d| d.rule == RuleId::Panic).unwrap().allowed,
+            Some(AllowSource::Config { entry }) if entry == "src/lib.rs:1"
+        ));
+    }
+}

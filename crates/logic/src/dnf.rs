@@ -94,7 +94,7 @@ impl Term {
     ///
     /// Panics if the literals are contradictory.
     pub fn from_literals(literals: Vec<Literal>) -> Term {
-        Term::try_from_literals(literals).expect("contradictory term")
+        Term::try_from_literals(literals).expect("contradictory term") // lint: allow(panic) — documented panicking constructor; try_from_literals is the fallible path
     }
 
     /// Builds a term from literals, returning `None` when they contradict.

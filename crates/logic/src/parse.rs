@@ -110,7 +110,7 @@ impl<'a> Parser<'a> {
             }
         }
         Ok(if children.len() == 1 {
-            children.pop().expect("one child")
+            children.pop().expect("one child") // lint: allow(panic) — guarded by children.len() == 1
         } else {
             Expr::Or(children)
         })
@@ -129,7 +129,7 @@ impl<'a> Parser<'a> {
             }
         }
         Ok(if children.len() == 1 {
-            children.pop().expect("one child")
+            children.pop().expect("one child") // lint: allow(panic) — guarded by children.len() == 1
         } else {
             Expr::And(children)
         })
@@ -162,7 +162,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 let word = core::str::from_utf8(&self.input[start..self.pos])
-                    .expect("label bytes are ASCII");
+                    .expect("label bytes are ASCII"); // lint: allow(panic) — is_label_byte admits only ASCII
                 match word {
                     "true" => Ok(Expr::Const(true)),
                     "false" => Ok(Expr::Const(false)),

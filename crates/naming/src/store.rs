@@ -7,7 +7,7 @@
 
 use crate::name::Name;
 use dde_logic::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A cached object's bookkeeping.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +54,7 @@ impl<T> StoredObject<T> {
 pub struct ContentStore<T> {
     capacity: u64,
     used: u64,
-    entries: HashMap<Name, StoredObject<T>>,
+    entries: BTreeMap<Name, StoredObject<T>>,
     /// Cumulative eviction count (for metrics).
     pub evictions: u64,
 }
@@ -65,7 +65,7 @@ impl<T> ContentStore<T> {
         ContentStore {
             capacity: capacity_bytes,
             used: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             evictions: 0,
         }
     }
@@ -113,7 +113,9 @@ impl<T> ContentStore<T> {
             let Some(victim) = self.pick_victim(sampled_at) else {
                 break;
             };
-            let old = self.entries.remove(&victim).expect("victim exists");
+            let Some(old) = self.entries.remove(&victim) else {
+                break; // unreachable: the victim was drawn from `entries`
+            };
             self.used -= old.size;
             self.evictions += 1;
         }
@@ -175,20 +177,22 @@ impl<T> ContentStore<T> {
 
     /// Drops every expired entry; returns how many were evicted.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
-        let victims: Vec<Name> = self
-            .entries
-            .iter()
-            .filter(|(_, o)| !o.is_fresh_at(now))
-            .map(|(n, _)| n.clone())
-            .collect();
-        for v in &victims {
-            let old = self.entries.remove(v).expect("listed");
-            self.used -= old.size;
-        }
-        victims.len()
+        let before = self.entries.len();
+        let mut freed = 0u64;
+        self.entries.retain(|_, o| {
+            let fresh = o.is_fresh_at(now);
+            if !fresh {
+                freed += o.size;
+            }
+            fresh
+        });
+        self.used -= freed;
+        before - self.entries.len()
     }
 
-    /// Iterates over `(name, entry)` pairs in arbitrary order.
+    /// Iterates over `(name, entry)` pairs in ascending name order — a
+    /// *defined* order, so consumers cannot inherit replay-breaking
+    /// iteration nondeterminism from the store (dde-lint rule R1).
     pub fn iter(&self) -> impl Iterator<Item = (&Name, &StoredObject<T>)> {
         self.entries.iter()
     }
@@ -313,6 +317,34 @@ mod tests {
         assert_eq!(obj.value, 1);
         // Below min_shared threshold: nothing.
         assert!(cs.closest_fresh(&n("/rural/cam"), t(50), 1).is_none());
+    }
+
+    /// Regression test for the latent replay hazard dde-lint rule R1 found:
+    /// the store used to be `HashMap`-keyed with `iter()` documented as
+    /// "arbitrary order", so any consumer folding over it inherited std's
+    /// per-instance-seeded iteration order — identical seeds could produce
+    /// different `RunReport`s. `iter()` must yield a *defined* order
+    /// (ascending by name), independent of insertion order.
+    #[test]
+    fn iteration_order_is_defined_and_insertion_independent() {
+        let names = ["/g", "/c", "/a", "/h", "/e", "/b", "/f", "/d"];
+        let mut forward = ContentStore::new(10_000);
+        for (i, s) in names.iter().enumerate() {
+            forward.insert(&n(s), i, 10, t(0), d(100));
+        }
+        let mut reverse = ContentStore::new(10_000);
+        for (i, s) in names.iter().rev().enumerate() {
+            reverse.insert(&n(s), i, 10, t(0), d(100));
+        }
+        let fwd: Vec<Name> = forward.iter().map(|(k, _)| k.clone()).collect();
+        let rev: Vec<Name> = reverse.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = names.map(n).to_vec();
+        sorted.sort();
+        assert_eq!(fwd, sorted, "iter() must be ascending by name");
+        assert_eq!(
+            fwd, rev,
+            "iteration order must not depend on insertion order"
+        );
     }
 
     #[test]

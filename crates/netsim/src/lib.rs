@@ -17,6 +17,9 @@
 //!   outages, partitions) the simulator applies at exact instants.
 
 #![warn(missing_docs)]
+// Determinism guardrails (see clippy.toml and dde-lint): hashed collections
+// and ambient clocks/env reads are disallowed in simulation library code.
+#![deny(clippy::disallowed_methods, clippy::disallowed_types)]
 
 pub mod fault;
 pub mod metrics;

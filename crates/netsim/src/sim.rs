@@ -13,7 +13,7 @@ use dde_logic::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// A message that can be clocked onto a link.
 pub trait WireMessage {
@@ -290,7 +290,7 @@ pub struct Simulator<P: Protocol> {
     now: SimTime,
     seq: u64,
     // per directed link: transmitter state and waiting messages
-    links: HashMap<(NodeId, NodeId), LinkState<P::Msg>>,
+    links: BTreeMap<(NodeId, NodeId), LinkState<P::Msg>>,
     metrics: Metrics,
     rng: SmallRng,
     events_processed: u64,
@@ -335,7 +335,7 @@ impl<P: Protocol> Simulator<P> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             metrics: Metrics::new(),
             rng: SmallRng::seed_from_u64(seed),
             events_processed: 0,
@@ -634,7 +634,7 @@ impl<P: Protocol> Simulator<P> {
         let spec = self
             .topology
             .link(from, to)
-            .expect("Context::send already checked adjacency");
+            .expect("Context::send already checked adjacency"); // lint: allow(panic) — adjacency was checked when the send was enqueued
         let bytes = msg.wire_size();
         let depart = self.now + spec.transmission_time(bytes);
         self.links.entry((from, to)).or_default().busy = true;

@@ -30,8 +30,7 @@ pub fn greedy_validity_shortcircuit(
     // Deterministic scan order: best ratio first, ties by label.
     remaining.sort_by(|a, b| {
         b.and_shortcircuit_ratio()
-            .partial_cmp(&a.and_shortcircuit_ratio())
-            .unwrap_or(core::cmp::Ordering::Equal)
+            .total_cmp(&a.and_shortcircuit_ratio())
             .then_with(|| a.label.cmp(&b.label))
     });
 

@@ -40,6 +40,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Determinism guardrails (see clippy.toml and dde-lint): hashed collections
+// and ambient clocks/env reads are disallowed in simulation library code.
+#![deny(clippy::disallowed_methods, clippy::disallowed_types)]
 
 pub mod explain;
 pub mod feasibility;

@@ -58,8 +58,7 @@ pub fn optimal_and_order(items: &[RetrievalItem]) -> Vec<RetrievalItem> {
     let mut out = items.to_vec();
     out.sort_by(|a, b| {
         b.and_shortcircuit_ratio()
-            .partial_cmp(&a.and_shortcircuit_ratio())
-            .unwrap_or(core::cmp::Ordering::Equal)
+            .total_cmp(&a.and_shortcircuit_ratio())
             .then_with(|| a.label.cmp(&b.label))
     });
     out
@@ -71,9 +70,7 @@ pub fn optimal_or_order(items: &[RetrievalItem]) -> Vec<RetrievalItem> {
     out.sort_by(|a, b| {
         let ra = a.as_meta().or_shortcircuit_ratio();
         let rb = b.as_meta().or_shortcircuit_ratio();
-        rb.partial_cmp(&ra)
-            .unwrap_or(core::cmp::Ordering::Equal)
-            .then_with(|| a.label.cmp(&b.label))
+        rb.total_cmp(&ra).then_with(|| a.label.cmp(&b.label))
     });
     out
 }
@@ -142,9 +139,7 @@ pub fn plan_dnf(query: &Dnf, meta: &MetaTable) -> DnfPlan {
         let (pb, eb) = (and_truth_prob(b), expected_and_cost(b));
         let ra = if ea == 0.0 { f64::INFINITY } else { pa / ea };
         let rb = if eb == 0.0 { f64::INFINITY } else { pb / eb };
-        rb.partial_cmp(&ra)
-            .unwrap_or(core::cmp::Ordering::Equal)
-            .then_with(|| ia.cmp(ib))
+        rb.total_cmp(&ra).then_with(|| ia.cmp(ib))
     });
     DnfPlan { terms }
 }

@@ -111,11 +111,7 @@ fn plan_and(children: &[Expr], meta: &MetaTable, negate_children: bool) -> EvalP
         .map(|c| plan(c, meta, negate_children))
         .collect();
     // Short-circuit efficiency for AND: (1 − P)/E descending.
-    plans.sort_by(|a, b| {
-        ratio_and(b)
-            .partial_cmp(&ratio_and(a))
-            .unwrap_or(core::cmp::Ordering::Equal)
-    });
+    plans.sort_by(|a, b| ratio_and(b).total_cmp(&ratio_and(a)));
     let mut reach = 1.0;
     let mut cost = 0.0;
     let mut prob = 1.0;
@@ -137,11 +133,7 @@ fn plan_or(children: &[Expr], meta: &MetaTable, negate_children: bool) -> EvalPl
         .map(|c| plan(c, meta, negate_children))
         .collect();
     // Short-circuit efficiency for OR: P/E descending.
-    plans.sort_by(|a, b| {
-        ratio_or(b)
-            .partial_cmp(&ratio_or(a))
-            .unwrap_or(core::cmp::Ordering::Equal)
-    });
+    plans.sort_by(|a, b| ratio_or(b).total_cmp(&ratio_or(a)));
     let mut reach = 1.0; // probability everything so far was false
     let mut cost = 0.0;
     let mut prob_false = 1.0;

@@ -10,7 +10,7 @@ use dde_logic::label::Label;
 use dde_logic::time::SimDuration;
 use dde_naming::name::Name;
 use dde_netsim::topology::NodeId;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// An advertised evidence object.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +35,7 @@ pub struct ObjectSpec {
 pub struct Catalog {
     objects: Vec<ObjectSpec>,
     by_label: BTreeMap<Label, Vec<usize>>,
-    by_name: HashMap<Name, usize>,
+    by_name: BTreeMap<Name, usize>,
 }
 
 impl Catalog {

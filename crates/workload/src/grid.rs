@@ -9,7 +9,7 @@ use core::fmt;
 use dde_logic::label::Label;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// An intersection on the grid, by (row, col).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -119,7 +119,7 @@ impl Route {
 
     /// Destination intersection.
     pub fn destination(&self) -> Intersection {
-        *self.intersections.last().expect("non-empty")
+        *self.intersections.last().expect("non-empty") // lint: allow(panic) — Route::new rejects routes with < 2 intersections
     }
 }
 
@@ -267,14 +267,14 @@ impl RoadGrid {
         rng: &mut R,
     ) -> Route {
         // Dijkstra with random edge weights in [1, 100].
-        let mut weights: HashMap<(Intersection, Intersection), u64> = HashMap::new();
+        let mut weights: BTreeMap<(Intersection, Intersection), u64> = BTreeMap::new();
         for seg in self.segments() {
             let w = rng.gen_range(1..=100u64);
             weights.insert((seg.a, seg.b), w);
             weights.insert((seg.b, seg.a), w);
         }
-        let mut dist: HashMap<Intersection, u64> = HashMap::new();
-        let mut prev: HashMap<Intersection, Intersection> = HashMap::new();
+        let mut dist: BTreeMap<Intersection, u64> = BTreeMap::new();
+        let mut prev: BTreeMap<Intersection, Intersection> = BTreeMap::new();
         let mut heap: BinaryHeap<std::cmp::Reverse<(u64, Intersection)>> = BinaryHeap::new();
         dist.insert(origin, 0);
         heap.push(std::cmp::Reverse((0, origin)));

@@ -17,6 +17,9 @@
 //!   the Markov miner that anticipates the next decision (§VIII).
 
 #![warn(missing_docs)]
+// Determinism guardrails (see clippy.toml and dde-lint): hashed collections
+// and ambient clocks/env reads are disallowed in simulation library code.
+#![deny(clippy::disallowed_methods, clippy::disallowed_types)]
 
 pub mod catalog;
 pub mod grid;

@@ -13,7 +13,8 @@
 //! tier-1 gate (`cargo test -q`) fast.
 
 #![warn(missing_docs)]
-
+// Vendored stand-in for criterion: wall-clock timing is its whole job.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use std::fmt::Display;
 use std::hint;
 use std::time::{Duration, Instant};

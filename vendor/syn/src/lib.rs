@@ -1,0 +1,653 @@
+//! Vendored offline stand-in for the `syn` crate.
+//!
+//! This workspace builds with no registry access (see the workspace
+//! `Cargo.toml`): external dependencies are replaced by minimal local
+//! implementations of exactly the API surface the workspace uses. The only
+//! consumer of `syn` here is `dde-lint`, whose determinism/panic-safety
+//! rules need a *faithful token-level parse* of Rust source — correct
+//! handling of strings, raw strings, char-vs-lifetime ambiguity, nested
+//! block comments, and delimiter balance — but not a full item-level AST.
+//!
+//! Accordingly this stand-in exposes [`parse_file`], which lexes a source
+//! file into a [`File`] of spanned [`Token`]s and reports [`Error`]s (with
+//! line/column, like real `syn`) for unterminated literals/comments and
+//! unbalanced delimiters. Unlike real `syn`, comments are preserved as
+//! tokens: `dde-lint`'s `// lint: allow(...)` markers live in comments, and
+//! rule scoping (`#[cfg(test)]` regions) is reconstructed from the token
+//! stream by the consumer.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime such as `'a` (including the leading quote).
+    Lifetime,
+    /// Any literal: integer, float, string, raw string, byte string, char.
+    Literal,
+    /// A single punctuation character (`.`, `:`, `#`, `!`, …).
+    Punct,
+    /// An opening delimiter: `(`, `[` or `{`.
+    OpenDelim,
+    /// A closing delimiter: `)`, `]` or `}`.
+    CloseDelim,
+    /// A line (`//…`) or block (`/* … */`) comment, text included.
+    Comment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is a punctuation character with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    tokens: Vec<Token>,
+}
+
+impl File {
+    /// All tokens, in source order (comments included).
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+}
+
+/// A parse error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// 1-based line of the offending character.
+    pub line: u32,
+    /// 1-based column of the offending character.
+    pub col: u32,
+    msg: String,
+}
+
+impl Error {
+    fn new(line: u32, col: u32, msg: impl Into<String>) -> Error {
+        Error {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias mirroring `syn::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            // Count Unicode scalar starts, not continuation bytes.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn text_since(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn error(&self, msg: impl Into<String>) -> Error {
+        Error::new(self.line, self.col, msg)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream, validating literal/comment termination
+/// and delimiter balance. Mirrors `syn::parse_file`'s signature shape.
+pub fn parse_file(src: &str) -> Result<File> {
+    let src = src.strip_prefix('\u{feff}').unwrap_or(src);
+    let mut lx = Lexer::new(src);
+    // Skip a shebang line if present.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        while let Some(b) = lx.peek() {
+            if b == b'\n' {
+                break;
+            }
+            lx.bump();
+        }
+    }
+    let mut tokens = Vec::new();
+    let mut delim_stack: Vec<(u8, u32, u32)> = Vec::new();
+    while let Some(b) = lx.peek() {
+        let (line, col) = (lx.line, lx.col);
+        let start = lx.pos;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lx.bump();
+            }
+            b'/' if lx.peek_at(1) == Some(b'/') => {
+                while let Some(c) = lx.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    lx.bump();
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Comment,
+                    text: lx.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b'/' if lx.peek_at(1) == Some(b'*') => {
+                lx.bump();
+                lx.bump();
+                let mut depth = 1u32;
+                loop {
+                    match (lx.peek(), lx.peek_at(1)) {
+                        (Some(b'*'), Some(b'/')) => {
+                            lx.bump();
+                            lx.bump();
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (Some(b'/'), Some(b'*')) => {
+                            lx.bump();
+                            lx.bump();
+                            depth += 1;
+                        }
+                        (Some(_), _) => {
+                            lx.bump();
+                        }
+                        (None, _) => {
+                            return Err(Error::new(line, col, "unterminated block comment"));
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Comment,
+                    text: lx.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                lex_string(&mut lx)?;
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: lx.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' if starts_prefixed_literal(&lx) => {
+                lex_prefixed_literal(&mut lx)?;
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: lx.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut lx)?;
+                tokens.push(Token {
+                    kind,
+                    text: lx.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut lx);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: lx.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                while let Some(c) = lx.peek() {
+                    if is_ident_continue(c) {
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: lx.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b'(' | b'[' | b'{' => {
+                lx.bump();
+                delim_stack.push((b, line, col));
+                tokens.push(Token {
+                    kind: TokenKind::OpenDelim,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+            b')' | b']' | b'}' => {
+                lx.bump();
+                let expected = match delim_stack.pop() {
+                    Some((b'(', ..)) => b')',
+                    Some((b'[', ..)) => b']',
+                    Some((b'{', ..)) => b'}',
+                    Some(_) => unreachable!("only delimiters are pushed"),
+                    None => return Err(Error::new(line, col, "unmatched closing delimiter")),
+                };
+                if b != expected {
+                    return Err(Error::new(line, col, "mismatched closing delimiter"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::CloseDelim,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                lx.bump();
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    if let Some((_, line, col)) = delim_stack.pop() {
+        return Err(Error::new(line, col, "unclosed delimiter"));
+    }
+    Ok(File { tokens })
+}
+
+/// Whether the lexer sits on an `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `b'…'`
+/// style prefixed literal (as opposed to an identifier starting with r/b).
+fn starts_prefixed_literal(lx: &Lexer<'_>) -> bool {
+    let b0 = lx.peek();
+    let b1 = lx.peek_at(1);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"' | b'#')) => {
+            // r"…" or r#…; `r#ident` (raw identifier) must be excluded:
+            // raw strings are r"…" or r#…#"…" — after the hashes comes a
+            // quote, after a raw-ident hash comes an ident char.
+            if b1 == Some(b'"') {
+                return true;
+            }
+            let mut off = 1;
+            while lx.peek_at(off) == Some(b'#') {
+                off += 1;
+            }
+            lx.peek_at(off) == Some(b'"')
+        }
+        (Some(b'b'), Some(b'"' | b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(lx.peek_at(2), Some(b'"' | b'#')),
+        _ => false,
+    }
+}
+
+fn lex_string(lx: &mut Lexer<'_>) -> Result<()> {
+    let (line, col) = (lx.line, lx.col);
+    lx.bump(); // opening quote
+    loop {
+        match lx.peek() {
+            Some(b'"') => {
+                lx.bump();
+                return Ok(());
+            }
+            Some(b'\\') => {
+                lx.bump();
+                lx.bump();
+            }
+            Some(_) => {
+                lx.bump();
+            }
+            None => return Err(Error::new(line, col, "unterminated string literal")),
+        }
+    }
+}
+
+fn lex_raw_string(lx: &mut Lexer<'_>) -> Result<()> {
+    let (line, col) = (lx.line, lx.col);
+    lx.bump(); // the `r`
+    let mut hashes = 0usize;
+    while lx.peek() == Some(b'#') {
+        hashes += 1;
+        lx.bump();
+    }
+    if lx.peek() != Some(b'"') {
+        return Err(lx.error("expected `\"` in raw string literal"));
+    }
+    lx.bump();
+    'scan: loop {
+        match lx.bump() {
+            Some(b'"') => {
+                for off in 0..hashes {
+                    if lx.peek_at(off) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    lx.bump();
+                }
+                return Ok(());
+            }
+            Some(_) => {}
+            None => return Err(Error::new(line, col, "unterminated raw string literal")),
+        }
+    }
+}
+
+fn lex_prefixed_literal(lx: &mut Lexer<'_>) -> Result<()> {
+    match lx.peek() {
+        Some(b'r') => lex_raw_string(lx),
+        Some(b'b') => {
+            match lx.peek_at(1) {
+                Some(b'r') => {
+                    lx.bump(); // the `b`; lex_raw_string eats the `r`
+                    lex_raw_string(lx)
+                }
+                Some(b'"') => {
+                    lx.bump();
+                    lex_string(lx)
+                }
+                Some(b'\'') => {
+                    lx.bump(); // the `b`
+                    lx.bump(); // opening quote
+                    if lx.peek() == Some(b'\\') {
+                        lx.bump();
+                    }
+                    lx.bump(); // the char
+                    if lx.peek() != Some(b'\'') {
+                        return Err(lx.error("unterminated byte literal"));
+                    }
+                    lx.bump();
+                    Ok(())
+                }
+                _ => unreachable!("guarded by starts_prefixed_literal"),
+            }
+        }
+        _ => unreachable!("guarded by starts_prefixed_literal"),
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'`/`'\n'` (char literal).
+fn lex_quote(lx: &mut Lexer<'_>) -> Result<TokenKind> {
+    lx.bump(); // opening quote
+    match lx.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: '\n', '\u{1F600}', '\\', …
+            lx.bump();
+            loop {
+                match lx.bump() {
+                    Some(b'\'') => return Ok(TokenKind::Literal),
+                    Some(_) => {}
+                    None => return Err(lx.error("unterminated character literal")),
+                }
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be 'a' (char) or 'abc (lifetime): consume ident chars,
+            // then decide by whether a closing quote follows.
+            while let Some(c2) = lx.peek() {
+                if is_ident_continue(c2) {
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            if lx.peek() == Some(b'\'') {
+                lx.bump();
+                Ok(TokenKind::Literal)
+            } else {
+                Ok(TokenKind::Lifetime)
+            }
+        }
+        Some(_) => {
+            // Single non-ident char: '+', ' ', '('.
+            lx.bump();
+            if lx.peek() == Some(b'\'') {
+                lx.bump();
+                Ok(TokenKind::Literal)
+            } else {
+                // `'` used oddly (macro-land); treat as punct-ish lifetime.
+                Ok(TokenKind::Lifetime)
+            }
+        }
+        None => Err(lx.error("unterminated character literal")),
+    }
+}
+
+fn lex_number(lx: &mut Lexer<'_>) {
+    // Integers, floats, and suffixes: consume ident chars, dots followed by
+    // a digit (so `1.0` is one token but `x.0.iter()` tuple indexing and
+    // `1..n` ranges split), and exponent signs.
+    lx.bump();
+    loop {
+        match (lx.peek(), lx.peek_at(1)) {
+            (Some(b'.'), Some(c)) if c.is_ascii_digit() => {
+                lx.bump();
+            }
+            (Some(b'+' | b'-'), _) => {
+                // Only inside an exponent: previous byte must be e/E.
+                let prev = lx.src[lx.pos - 1];
+                if prev == b'e' || prev == b'E' {
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            (Some(c), _) if is_ident_continue(c) => {
+                lx.bump();
+            }
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        parse_file(src)
+            .unwrap()
+            .tokens()
+            .iter()
+            .map(|t| (t.kind, t.text.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Ident, "unwrap".into()),
+                (TokenKind::OpenDelim, "(".into()),
+                (TokenKind::CloseDelim, ")".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let f = parse_file("a\n  b").unwrap();
+        assert_eq!((f.tokens()[0].line, f.tokens()[0].col), (1, 1));
+        assert_eq!((f.tokens()[1].line, f.tokens()[1].col), (2, 3));
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        // `unwrap` inside a string must not surface as an ident token.
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (t != "unwrap" && t != "x")));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let s = r#"say "hi".unwrap()"#;"###);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+        // Raw identifiers are idents, not literals.
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r"));
+    }
+
+    #[test]
+    fn char_versus_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Literal && t.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let toks = kinds("x // lint: allow(panic) — test\n/* block */ y");
+        let comments: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Comment)
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].1.contains("allow(panic)"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn floats_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..10 { let f = 1.5e-3; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "1.5e-3"));
+    }
+
+    #[test]
+    fn unbalanced_delimiters_error() {
+        assert!(parse_file("fn f() {").is_err());
+        assert!(parse_file("fn f() )").is_err());
+        assert!(parse_file("fn f(] {}").is_err());
+    }
+
+    #[test]
+    fn unterminated_literals_error() {
+        assert!(parse_file("let s = \"oops").is_err());
+        assert!(parse_file("/* oops").is_err());
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"let b = b"bytes"; let c = b'x'; let e = b'\n';"#);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            3
+        );
+    }
+}
