@@ -6,7 +6,8 @@
 
 // Bench binary: env knobs and wall-clock timing are out-of-simulation.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
-use dde_bench::{print_table, sweep, HarnessConfig};
+use dde_bench::HarnessConfig;
+use dde_bench::{bench_json, print_table, rows_from_reports, sweep_reports, write_bench_json};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
@@ -19,6 +20,11 @@ fn main() {
         cfg.base.node_count,
         cfg.base.node_count * cfg.base.queries_per_node,
     );
-    let rows = sweep(&cfg, &ratios, |r| r.resolution_ratio());
+    let all = sweep_reports(&cfg, &ratios);
+    let rows = rows_from_reports(&ratios, &all, |r| r.resolution_ratio());
     print_table(&rows, "query resolution ratio");
+    write_bench_json(
+        "BENCH_fig2.json",
+        &bench_json("fig2", &cfg, "fast_ratio", &ratios, &all),
+    );
 }

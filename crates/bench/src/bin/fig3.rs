@@ -6,7 +6,8 @@
 
 // Bench binary: env knobs and wall-clock timing are out-of-simulation.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
-use dde_bench::{print_table, sweep, HarnessConfig};
+use dde_bench::HarnessConfig;
+use dde_bench::{bench_json, print_table, rows_from_reports, sweep_reports, write_bench_json};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
@@ -14,6 +15,12 @@ fn main() {
         "fig3: {} reps, 40% fast-changing objects, metric = total MB on all links",
         cfg.reps
     );
-    let rows = sweep(&cfg, &[0.4], |r| r.total_megabytes());
+    let ratios = [0.4];
+    let all = sweep_reports(&cfg, &ratios);
+    let rows = rows_from_reports(&ratios, &all, |r| r.total_megabytes());
     print_table(&rows, "total bandwidth, MB");
+    write_bench_json(
+        "BENCH_fig3.json",
+        &bench_json("fig3", &cfg, "fast_ratio", &ratios, &all),
+    );
 }

@@ -12,7 +12,7 @@
 
 // Bench binary: env knobs and wall-clock timing are out-of-simulation.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
-use dde_bench::{stat, HarnessConfig, Stat};
+use dde_bench::{bench_json, stat, write_bench_json, HarnessConfig, Stat};
 use dde_core::engine::{run_scenario, RunOptions, RunReport};
 use dde_core::strategy::Strategy;
 use dde_logic::time::SimDuration;
@@ -143,5 +143,9 @@ fn main() {
         "\nEvery query terminates (resolved + missed = total) at every churn\n\
          rate; decision-driven strategies degrade gracefully because stalled\n\
          fetches time out and re-select reachable sources."
+    );
+    write_bench_json(
+        "BENCH_resilience.json",
+        &bench_json("resilience", &cfg, "churn", &CHURN_RATES, &all),
     );
 }

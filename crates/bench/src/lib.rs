@@ -13,6 +13,7 @@
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use dde_core::engine::{run_scenario, RunOptions, RunReport};
 use dde_core::strategy::Strategy;
+use dde_obs::{Histogram, JsonValue};
 use dde_workload::scenario::{Scenario, ScenarioConfig};
 
 /// Shared command-line-ish knobs for the figure binaries, read from
@@ -29,6 +30,9 @@ pub struct HarnessConfig {
     pub base: ScenarioConfig,
     /// Base seed; repetition `r` uses `seed + r`.
     pub seed: u64,
+    /// Human-readable scale label (`"paper"` or `"small"`), recorded in the
+    /// machine-readable `BENCH_*.json` companions.
+    pub scale: &'static str,
 }
 
 impl HarnessConfig {
@@ -38,15 +42,20 @@ impl HarnessConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(10);
-        let base = match std::env::var("DDE_SCALE").as_deref() {
-            Ok("small") => ScenarioConfig::small(),
-            _ => ScenarioConfig::default(),
+        let (base, scale) = match std::env::var("DDE_SCALE").as_deref() {
+            Ok("small") => (ScenarioConfig::small(), "small"),
+            _ => (ScenarioConfig::default(), "paper"),
         };
         let seed = std::env::var("DDE_SEED")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(1);
-        HarnessConfig { reps, base, seed }
+        HarnessConfig {
+            reps,
+            base,
+            seed,
+            scale,
+        }
     }
 }
 
@@ -101,15 +110,12 @@ pub struct FigureRow {
     pub per_strategy: Vec<(Strategy, Stat)>,
 }
 
-/// Sweeps `fast_ratios` × strategies × reps, extracting `metric` from each
-/// run. Runs are independent and deterministic per seed, so they execute on
-/// a `std::thread::scope` worker pool sized to the available parallelism;
-/// the output is identical to the sequential order.
-pub fn sweep(
-    cfg: &HarnessConfig,
-    fast_ratios: &[f64],
-    metric: impl Fn(&RunReport) -> f64 + Sync,
-) -> Vec<FigureRow> {
+/// Sweeps `fast_ratios` × strategies × reps and keeps the full
+/// [`RunReport`] of every run, indexed `[ratio][strategy][rep]` in the
+/// paper's strategy order. Runs are independent and deterministic per seed,
+/// so they execute on a `std::thread::scope` worker pool sized to the
+/// available parallelism; the output is identical to the sequential order.
+pub fn sweep_reports(cfg: &HarnessConfig, fast_ratios: &[f64]) -> Vec<Vec<Vec<RunReport>>> {
     // Flatten the full (ratio, strategy, rep) grid into one work list.
     let grid: Vec<(usize, usize, u64)> = fast_ratios
         .iter()
@@ -121,10 +127,8 @@ pub fn sweep(
                 .flat_map(move |(si, _)| (0..cfg.reps).map(move |r| (ri, si, r)))
         })
         .collect();
-    let results: Vec<std::sync::Mutex<f64>> = grid
-        .iter()
-        .map(|_| std::sync::Mutex::new(f64::NAN))
-        .collect();
+    let results: Vec<std::sync::Mutex<Option<RunReport>>> =
+        grid.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -140,27 +144,49 @@ pub fn sweep(
                 }
                 let (ri, si, r) = grid[k];
                 let report = run_point(&cfg.base, fast_ratios[ri], Strategy::ALL[si], cfg.seed + r);
-                *results[k].lock().expect("sweep cell poisoned") = metric(&report);
+                *results[k].lock().expect("sweep cell poisoned") = Some(report);
             });
         }
     });
 
-    // Reassemble rows in the sequential order.
-    let mut it = results.iter();
+    // Reassemble in the sequential order.
+    let mut it = results.into_iter();
     fast_ratios
         .iter()
-        .map(|&fr| {
+        .map(|_| {
+            Strategy::ALL
+                .iter()
+                .map(|_| {
+                    (0..cfg.reps)
+                        .map(|_| {
+                            it.next()
+                                .expect("grid-sized")
+                                .into_inner()
+                                .expect("sweep cell poisoned")
+                                .expect("worker filled cell")
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Distills `[ratio][strategy][rep]` reports into figure rows under `metric`.
+pub fn rows_from_reports(
+    fast_ratios: &[f64],
+    all: &[Vec<Vec<RunReport>>],
+    metric: impl Fn(&RunReport) -> f64,
+) -> Vec<FigureRow> {
+    fast_ratios
+        .iter()
+        .zip(all)
+        .map(|(&fr, row)| {
             let per_strategy = Strategy::ALL
                 .iter()
-                .map(|&s| {
-                    let samples: Vec<f64> = (0..cfg.reps)
-                        .map(|_| {
-                            *it.next()
-                                .expect("grid-sized")
-                                .lock()
-                                .expect("sweep cell poisoned")
-                        })
-                        .collect();
+                .zip(row)
+                .map(|(&s, reports)| {
+                    let samples: Vec<f64> = reports.iter().map(&metric).collect();
                     (s, stat(&samples))
                 })
                 .collect();
@@ -170,6 +196,16 @@ pub fn sweep(
             }
         })
         .collect()
+}
+
+/// Sweeps `fast_ratios` × strategies × reps, extracting `metric` from each
+/// run. Convenience wrapper over [`sweep_reports`] + [`rows_from_reports`].
+pub fn sweep(
+    cfg: &HarnessConfig,
+    fast_ratios: &[f64],
+    metric: impl Fn(&RunReport) -> f64 + Sync,
+) -> Vec<FigureRow> {
+    rows_from_reports(fast_ratios, &sweep_reports(cfg, fast_ratios), metric)
 }
 
 /// Prints rows as an aligned table with `header` naming the metric.
@@ -185,6 +221,91 @@ pub fn print_table(rows: &[FigureRow], header: &str) {
             print!("  {:>9.3} ±{:>5.3}", st.mean, st.stddev);
         }
         println!();
+    }
+}
+
+/// Mean/stddev pair as a JSON object.
+fn stat_json(st: Stat) -> JsonValue {
+    JsonValue::Object(vec![
+        ("mean".into(), JsonValue::Float(st.mean)),
+        ("stddev".into(), JsonValue::Float(st.stddev)),
+    ])
+}
+
+/// One scheme's summary at one x-value: headline metrics plus latency
+/// percentiles from the reps' merged fixed-bucket histograms.
+fn scheme_json(reports: &[RunReport]) -> JsonValue {
+    let metric = |f: fn(&RunReport) -> f64| {
+        let samples: Vec<f64> = reports.iter().map(f).collect();
+        stat_json(stat(&samples))
+    };
+    let mut hist = Histogram::new();
+    for r in reports {
+        hist.merge(&r.latency_hist);
+    }
+    let pct = |p: f64| match hist.percentile(p) {
+        Some(d) => JsonValue::Int(d.as_micros() as i64),
+        None => JsonValue::Null,
+    };
+    JsonValue::Object(vec![
+        (
+            "resolution_ratio".into(),
+            metric(RunReport::resolution_ratio),
+        ),
+        ("accuracy".into(), metric(RunReport::accuracy)),
+        ("megabytes".into(), metric(RunReport::total_megabytes)),
+        (
+            "latency_us".into(),
+            JsonValue::Object(vec![
+                ("p50".into(), pct(50.0)),
+                ("p95".into(), pct(95.0)),
+                ("p99".into(), pct(99.0)),
+            ]),
+        ),
+        ("latency_count".into(), JsonValue::Int(hist.count() as i64)),
+    ])
+}
+
+/// Builds the machine-readable companion of a figure table: scheme →
+/// resolution ratio / accuracy / bandwidth / latency percentiles at each
+/// x-value. `x_name` names the swept axis (`"fast_ratio"`, `"churn"`).
+pub fn bench_json(
+    figure: &str,
+    cfg: &HarnessConfig,
+    x_name: &str,
+    xs: &[f64],
+    all: &[Vec<Vec<RunReport>>],
+) -> JsonValue {
+    let points = xs
+        .iter()
+        .zip(all)
+        .map(|(&x, row)| {
+            let schemes = Strategy::ALL
+                .iter()
+                .zip(row)
+                .map(|(&s, reports)| (s.code().to_string(), scheme_json(reports)))
+                .collect();
+            JsonValue::Object(vec![
+                ("x".into(), JsonValue::Float(x)),
+                ("schemes".into(), JsonValue::Object(schemes)),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![
+        ("figure".into(), JsonValue::Str(figure.into())),
+        ("scale".into(), JsonValue::Str(cfg.scale.into())),
+        ("reps".into(), JsonValue::Int(cfg.reps as i64)),
+        ("seed".into(), JsonValue::Int(cfg.seed as i64)),
+        ("x".into(), JsonValue::Str(x_name.into())),
+        ("points".into(), JsonValue::Array(points)),
+    ])
+}
+
+/// Writes `value` pretty-printed to `path`, reporting on stderr.
+pub fn write_bench_json(path: &str, value: &JsonValue) {
+    match std::fs::write(path, value.to_pretty_string()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
     }
 }
 

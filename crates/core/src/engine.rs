@@ -13,6 +13,7 @@ use crate::strategy::Strategy;
 use dde_logic::time::{SimDuration, SimTime};
 use dde_netsim::fault::FaultSchedule;
 use dde_netsim::sim::Simulator;
+use dde_obs::{EventKind, Histogram, MemorySink, SharedSink, Sink};
 use dde_workload::scenario::Scenario;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -148,6 +149,11 @@ pub struct RunReport {
     pub finished_at: SimTime,
     /// Events processed by the simulator.
     pub events: u64,
+    /// Fixed-bucket histogram of issue-to-decision latencies over decided
+    /// queries; see [`RunReport::latency_p50`] and friends.
+    pub latency_hist: Histogram,
+    /// Per-node protocol counters, indexed by node id.
+    pub node_stats: Vec<crate::node::NodeStats>,
     /// One record per query, in (origin, id) order.
     pub queries: Vec<QueryRecord>,
 }
@@ -173,6 +179,22 @@ impl RunReport {
     pub fn total_megabytes(&self) -> f64 {
         self.total_bytes as f64 / 1e6
     }
+
+    /// Median issue-to-decision latency (bucket resolution); `None` if no
+    /// query was decided.
+    pub fn latency_p50(&self) -> Option<SimDuration> {
+        self.latency_hist.p50()
+    }
+
+    /// 95th-percentile issue-to-decision latency (bucket resolution).
+    pub fn latency_p95(&self) -> Option<SimDuration> {
+        self.latency_hist.p95()
+    }
+
+    /// 99th-percentile issue-to-decision latency (bucket resolution).
+    pub fn latency_p99(&self) -> Option<SimDuration> {
+        self.latency_hist.p99()
+    }
 }
 
 /// Runs `scenario` under `options` with ground-truth annotators.
@@ -180,19 +202,64 @@ pub fn run_scenario(scenario: &Scenario, options: RunOptions) -> RunReport {
     run_scenario_with_annotator(scenario, options, Arc::new(GroundTruthAnnotator))
 }
 
+/// Runs `scenario` with a trace sink observing the full event lifecycle:
+/// every link-layer event from the simulator and every protocol decision
+/// from the Athena nodes flows into `sink`, stamped with simulated time.
+/// The sink is flushed before the report is returned.
+pub fn run_scenario_observed(
+    scenario: &Scenario,
+    options: RunOptions,
+    sink: Box<dyn Sink>,
+) -> RunReport {
+    run_scenario_inner(
+        scenario,
+        options,
+        Arc::new(GroundTruthAnnotator),
+        Some(sink),
+    )
+}
+
 /// Runs `scenario` and additionally returns the first `trace_cap` link
 /// transmissions — the message-flow record behind the Fig. 1 walkthrough.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_scenario_observed with a dde-obs sink; transmissions are EventKind::Transmit records"
+)]
 pub fn run_scenario_traced(
     scenario: &Scenario,
     options: RunOptions,
     trace_cap: usize,
 ) -> (RunReport, Vec<dde_netsim::TraceEvent>) {
-    run_scenario_inner(
+    let shared = SharedSink::new(MemorySink::new());
+    let report = run_scenario_inner(
         scenario,
         options,
         Arc::new(GroundTruthAnnotator),
-        Some(trace_cap),
-    )
+        Some(Box::new(shared.clone())),
+    );
+    let trace = shared
+        .with(|s| s.take())
+        .into_iter()
+        .filter_map(|rec| match rec.kind {
+            EventKind::Transmit {
+                from,
+                to,
+                msg,
+                bytes,
+                background,
+            } => Some(dde_netsim::TraceEvent {
+                at: rec.at,
+                from: dde_netsim::NodeId(from as usize),
+                to: dde_netsim::NodeId(to as usize),
+                kind: msg,
+                bytes,
+                background,
+            }),
+            _ => None,
+        })
+        .take(trace_cap)
+        .collect();
+    (report, trace)
 }
 
 /// Runs `scenario` with a custom annotator (noise/reliability ablations).
@@ -201,15 +268,15 @@ pub fn run_scenario_with_annotator(
     options: RunOptions,
     annotator: Arc<dyn Annotator + Send + Sync>,
 ) -> RunReport {
-    run_scenario_inner(scenario, options, annotator, None).0
+    run_scenario_inner(scenario, options, annotator, None)
 }
 
 fn run_scenario_inner(
     scenario: &Scenario,
     options: RunOptions,
     annotator: Arc<dyn Annotator + Send + Sync>,
-    trace_cap: Option<usize>,
-) -> (RunReport, Vec<dde_netsim::TraceEvent>) {
+    sink: Option<Box<dyn Sink>>,
+) -> RunReport {
     let mut config = NodeConfig::new(options.strategy);
     config.prefetch = options.prefetch;
     config.trust = options.trust.clone();
@@ -233,8 +300,8 @@ fn run_scenario_inner(
         .collect();
     let mut sim = Simulator::new(scenario.topology.clone(), nodes, options.seed);
     sim.set_medium(options.medium);
-    if let Some(cap) = trace_cap {
-        sim.enable_trace(cap);
+    if let Some(sink) = sink {
+        sim.set_sink(sink);
     }
 
     // Faults: whatever the scenario schedules (churn config) plus whatever
@@ -259,11 +326,11 @@ fn run_scenario_inner(
     let horizon = last_deadline + options.drain;
     sim.run_until(horizon);
 
-    let trace = sim.take_trace();
-    (
-        collect_report(&sim, scenario, options.strategy, faults.len()),
-        trace,
-    )
+    // Flushing here (rather than leaving it to the caller) guarantees
+    // streaming sinks have written the complete trace before the report is
+    // in hand; a flush failure must not invalidate the run itself.
+    let _ = sim.sink_mut().flush();
+    collect_report(&sim, scenario, options.strategy, faults.len())
 }
 
 fn collect_report(
@@ -294,6 +361,8 @@ fn collect_report(
         messages_purged_by_fault: sim.metrics().messages_purged_by_fault,
         finished_at: sim.now(),
         events: sim.events_processed(),
+        latency_hist: Histogram::new(),
+        node_stats: sim.nodes().map(|n| n.stats).collect(),
         queries: Vec::with_capacity(scenario.queries.len()),
     };
 
@@ -345,8 +414,10 @@ fn collect_report(
                             }
                         }
                     }
-                    latency_sum += at.saturating_since(q.issued_at);
+                    let latency = at.saturating_since(q.issued_at);
+                    latency_sum += latency;
                     latency_count += 1;
+                    report.latency_hist.record(latency);
                 }
                 QueryStatus::Missed => report.missed += 1,
                 QueryStatus::Pending => {

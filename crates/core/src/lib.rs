@@ -46,8 +46,10 @@ pub use annotate::{
     Annotator, BiasedSourcesAnnotator, GroundTruthAnnotator, LyingAnnotator, NoisyAnnotator,
     TrustPolicy,
 };
+#[allow(deprecated)]
+pub use engine::run_scenario_traced;
 pub use engine::{
-    run_all_strategies, run_scenario, run_scenario_traced, run_scenario_with_annotator,
+    run_all_strategies, run_scenario, run_scenario_observed, run_scenario_with_annotator,
     QueryRecord, RunOptions, RunReport,
 };
 pub use msg::{AthenaMsg, QueryId, RequestKind};
@@ -59,8 +61,10 @@ pub use strategy::Strategy;
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::annotate::{Annotator, GroundTruthAnnotator, TrustPolicy};
+    #[allow(deprecated)]
+    pub use crate::engine::run_scenario_traced;
     pub use crate::engine::{
-        run_all_strategies, run_scenario, run_scenario_traced, run_scenario_with_annotator,
+        run_all_strategies, run_scenario, run_scenario_observed, run_scenario_with_annotator,
         RunOptions, RunReport,
     };
     pub use crate::msg::{AthenaMsg, QueryId};

@@ -18,9 +18,10 @@
 use crate::annotate::{Annotator, TrustPolicy};
 use crate::msg::{AthenaMsg, QueryId, RequestKind};
 use crate::object::EvidenceObject;
-use crate::query::{Outstanding, QueryState};
+use crate::query::{Outstanding, QueryOutcome, QueryState, QueryStatus};
 use crate::strategy::Strategy;
 use dde_logic::label::Label;
+use dde_logic::meta::{ConditionMeta, Cost, MetaTable, Probability};
 use dde_logic::time::{SimDuration, SimTime};
 use dde_naming::criticality::{Criticality, CriticalityMap};
 use dde_naming::fib::Pit;
@@ -28,7 +29,10 @@ use dde_naming::name::Name;
 use dde_naming::store::ContentStore;
 use dde_netsim::sim::{Context, Protocol};
 use dde_netsim::topology::NodeId;
+use dde_obs::EventKind;
+use dde_sched::explain::explain_dnf_plan;
 use dde_sched::item::Channel;
+use dde_sched::shortcircuit::plan_dnf;
 use dde_workload::catalog::Catalog;
 use dde_workload::scenario::QueryInstance;
 use dde_workload::world::WorldModel;
@@ -248,6 +252,9 @@ pub struct AthenaNode {
     reliability: BTreeMap<NodeId, (u64, u64)>,
     /// Whether a tick timer is armed.
     tick_armed: bool,
+    /// Local queries whose terminal trace event has been emitted (so
+    /// resolve/miss events fire exactly once per query).
+    emitted_final: BTreeSet<QueryId>,
     /// Counters.
     pub stats: NodeStats,
 }
@@ -274,6 +281,7 @@ impl AthenaNode {
             votes: BTreeMap::new(),
             reliability: BTreeMap::new(),
             tick_armed: false,
+            emitted_final: BTreeSet::new(),
             stats: NodeStats::default(),
         }
     }
@@ -326,6 +334,68 @@ impl AthenaNode {
 
     fn channel(&self) -> Channel {
         Channel::new(self.shared.config.planning_bandwidth_bps)
+    }
+
+    /// Renders the decision-driven ordering rationale for a query's
+    /// expression via `dde-sched`'s short-circuit planner: per-label
+    /// retrieval cost (cheapest provider from here), the configured truth
+    /// prior, and the most conservative provider validity. Only called when
+    /// the trace sink is enabled — this allocates freely.
+    fn plan_rationale(&self, expr: &dde_logic::dnf::Dnf, ctx: &Context<'_, AthenaMsg>) -> String {
+        let me = ctx.node();
+        let topology = ctx.topology();
+        let prior = self.shared.config.prob_true_prior;
+        let meta: MetaTable = expr
+            .labels()
+            .into_iter()
+            .map(|l| {
+                let providers = self.catalog().providers_of(&l);
+                let cost = providers
+                    .iter()
+                    .map(|&i| Strategy::effective_cost(i, self.catalog(), me, topology))
+                    .min()
+                    .unwrap_or(0);
+                let validity = providers
+                    .iter()
+                    .map(|&i| self.catalog().get(i).validity)
+                    .min()
+                    .unwrap_or(SimDuration::MAX);
+                let meta = ConditionMeta::new(Cost::from_bytes(cost), validity)
+                    .with_prob(Probability::clamped(prior));
+                (l, meta)
+            })
+            .collect();
+        explain_dnf_plan(&plan_dnf(expr, &meta))
+    }
+
+    /// Emits a terminal trace event (`query-resolved` / `query-missed`) for
+    /// every local query that reached a final status since the last call.
+    /// Idempotent per query.
+    fn emit_query_outcomes(&mut self, ctx: &mut Context<'_, AthenaMsg>) {
+        if !ctx.obs_enabled() {
+            return;
+        }
+        let newly: Vec<(QueryId, QueryStatus, SimTime)> = self
+            .queries
+            .iter()
+            .filter(|(qid, q)| q.status.is_final() && !self.emitted_final.contains(qid))
+            .map(|(qid, q)| (*qid, q.status, q.issued_at))
+            .collect();
+        for (qid, status, issued_at) in newly {
+            self.emitted_final.insert(qid);
+            match status {
+                QueryStatus::Decided { outcome, at } => ctx.emit(EventKind::QueryResolved {
+                    query: qid.0,
+                    outcome: match outcome {
+                        QueryOutcome::Viable(_) => "viable",
+                        QueryOutcome::Infeasible => "infeasible",
+                    },
+                    latency_us: at.saturating_since(issued_at).as_micros(),
+                }),
+                QueryStatus::Missed => ctx.emit(EventKind::QueryMissed { query: qid.0 }),
+                QueryStatus::Pending => {}
+            }
+        }
     }
 
     fn arm_tick(&mut self, ctx: &mut Context<'_, AthenaMsg>) {
@@ -491,6 +561,13 @@ impl AthenaNode {
         based_on: &Name,
     ) {
         let me = ctx.node();
+        if ctx.obs_enabled() {
+            ctx.emit(EventKind::Annotate {
+                query: qid.0,
+                label: label.to_string(),
+                value,
+            });
+        }
         self.labels.insert(
             label.clone(),
             CachedLabel {
@@ -518,6 +595,13 @@ impl AthenaNode {
             if let Some(spec) = self.shared.catalog.by_name(based_on) {
                 if spec.source != me {
                     if let Some(hop) = ctx.next_hop_toward(spec.source) {
+                        if ctx.obs_enabled() {
+                            ctx.emit(EventKind::LabelShare {
+                                label: label.to_string(),
+                                value,
+                                toward: hop.index() as u32,
+                            });
+                        }
                         ctx.send(
                             hop,
                             AthenaMsg::LabelShare {
@@ -713,6 +797,11 @@ impl AthenaNode {
                         object.validity,
                     );
                     self.stats.local_samples += 1;
+                    if ctx.obs_enabled() {
+                        ctx.emit(EventKind::LocalSample {
+                            name: object.name.to_string(),
+                        });
+                    }
                     let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                     q.counters.labels_from_local += 1;
                     self.annotate_object(ctx, &object);
@@ -755,6 +844,13 @@ impl AthenaNode {
                 });
                 q.counters.requests_sent += 1;
                 if first {
+                    if ctx.obs_enabled() {
+                        ctx.emit(EventKind::RequestSend {
+                            query: qid.0,
+                            name: spec.name.to_string(),
+                            hop: hop.index() as u32,
+                        });
+                    }
                     ctx.send(
                         hop,
                         AthenaMsg::Request {
@@ -772,6 +868,7 @@ impl AthenaNode {
             let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
             q.check(now);
         }
+        self.emit_query_outcomes(ctx);
         if self.has_pending_work(now) {
             self.arm_tick(ctx);
         }
@@ -782,7 +879,13 @@ impl AthenaNode {
     /// pictures of that same bridge … does not offer 10-times more
     /// information": marginal utility is `1 − max_similarity` to the
     /// recently delivered set, judged by shared name prefixes.
-    fn triage_redundant(&mut self, hop: NodeId, name: &Name, now: SimTime) -> bool {
+    fn triage_redundant(
+        &mut self,
+        ctx: &mut Context<'_, AthenaMsg>,
+        hop: NodeId,
+        name: &Name,
+        now: SimTime,
+    ) -> bool {
         let Some(threshold) = self.shared.config.triage_threshold else {
             return false;
         };
@@ -795,6 +898,12 @@ impl AthenaNode {
             .fold(0.0, f64::max);
         if 1.0 - max_sim < threshold {
             self.stats.triage_drops += 1;
+            if ctx.obs_enabled() {
+                ctx.emit(EventKind::TriageDrop {
+                    name: name.to_string(),
+                    hop: hop.index() as u32,
+                });
+            }
             return true;
         }
         recent.push((name.clone(), now));
@@ -865,6 +974,12 @@ impl AthenaNode {
                 .collect();
             if !usable.is_empty() {
                 self.stats.label_hits += 1;
+                if ctx.obs_enabled() {
+                    ctx.emit(EventKind::LabelHit {
+                        requester: from.index() as u32,
+                        labels: usable.len() as u64,
+                    });
+                }
                 for l in &usable {
                     let c = self.labels.get(l).expect("checked above").clone(); // lint: allow(panic) — presence and usability checked just above
                     ctx.send(
@@ -891,6 +1006,12 @@ impl AthenaNode {
             if stored.expires_at() >= now + headroom {
                 let object = stored.value.clone();
                 self.stats.cache_hits += 1;
+                if ctx.obs_enabled() {
+                    ctx.emit(EventKind::CacheHit {
+                        name: name.to_string(),
+                        requester: from.index() as u32,
+                    });
+                }
                 ctx.send(
                     from,
                     AthenaMsg::Data {
@@ -916,6 +1037,12 @@ impl AthenaNode {
                     if wanted.iter().all(|l| stored.value.covers_label(l)) {
                         let object = stored.value.clone();
                         self.stats.approx_hits += 1;
+                        if ctx.obs_enabled() {
+                            ctx.emit(EventKind::ApproxHit {
+                                name: name.to_string(),
+                                substitute: object.name.to_string(),
+                            });
+                        }
                         ctx.send(
                             from,
                             AthenaMsg::Data {
@@ -962,6 +1089,16 @@ impl AthenaNode {
         // Prefetch requests are not forwarded (§VI-B).
         if kind == RequestKind::Prefetch {
             return;
+        }
+        if ctx.obs_enabled() {
+            let forwarded_to = ctx
+                .next_hop_toward(source)
+                .filter(|h| *h != from)
+                .map(|h| h.index() as u32);
+            ctx.emit(EventKind::CacheMiss {
+                name: name.to_string(),
+                forwarded_to,
+            });
         }
         // Register the interest; forward only the first.
         let first = self.pit.register(
@@ -1042,7 +1179,8 @@ impl AthenaNode {
             }
         }
         if let Some((hop, dst)) = push_hop {
-            if !self.triage_redundant(hop, &object.name, ctx.now()) {
+            let now = ctx.now();
+            if !self.triage_redundant(ctx, hop, &object.name, now) {
                 ctx.send(
                     hop,
                     AthenaMsg::Data {
@@ -1257,7 +1395,7 @@ impl AthenaNode {
                 }
             }
             let name = key.0.clone();
-            if self.triage_redundant(hop, &name, now) {
+            if self.triage_redundant(ctx, hop, &name, now) {
                 continue; // a very similar view was just pushed this way
             }
             let object = self.sample_object(task.object_idx, now);
@@ -1270,6 +1408,12 @@ impl AthenaNode {
             );
             self.recent_pushes.insert(key, now);
             self.stats.prefetch_pushes += 1;
+            if ctx.obs_enabled() {
+                ctx.emit(EventKind::PrefetchPush {
+                    name: object.name.to_string(),
+                    toward: hop.index() as u32,
+                });
+            }
             ctx.send(
                 hop,
                 AthenaMsg::Data {
@@ -1331,6 +1475,19 @@ impl Protocol for AthenaNode {
                 .candidates(&labels, self.catalog(), me, ctx.topology());
         let state = QueryState::new(qid, inst.expr.clone(), now, inst.deadline);
         let deadline_at = state.deadline_at;
+        if ctx.obs_enabled() {
+            ctx.emit(EventKind::QueryInit {
+                query: qid.0,
+                origin: me.index() as u32,
+            });
+            let rationale = self.plan_rationale(&inst.expr, ctx);
+            ctx.emit(EventKind::Plan {
+                query: qid.0,
+                strategy: self.shared.config.strategy.code(),
+                candidates: candidates.len() as u64,
+                rationale,
+            });
+        }
         self.queries.insert(qid, state);
         self.plans.insert(qid, (candidates, labels));
         self.seen_announces.insert(qid);
@@ -1491,6 +1648,7 @@ impl Protocol for AthenaNode {
             if let Some(q) = self.queries.get_mut(&qid) {
                 q.check(ctx.now());
             }
+            self.emit_query_outcomes(ctx);
         }
     }
 }

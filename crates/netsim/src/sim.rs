@@ -10,6 +10,7 @@ use crate::fault::{FaultEvent, FaultSchedule};
 use crate::metrics::Metrics;
 use crate::topology::{NodeId, Topology};
 use dde_logic::time::{SimDuration, SimTime};
+use dde_obs::{EventKind, MemorySink, NullSink, SharedSink, Sink, TraceRecord};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -75,17 +76,46 @@ pub trait Protocol {
     }
 }
 
-/// Handler-side view of the simulation: clock, identity, topology, and an
-/// outbox for sends and timers.
-#[derive(Debug)]
+/// Handler-side view of the simulation: clock, identity, topology, an
+/// outbox for sends and timers, and the trace sink.
 pub struct Context<'a, M> {
     now: SimTime,
     node: NodeId,
     topology: &'a Topology,
     commands: &'a mut Vec<Command<M>>,
+    sink: &'a mut dyn Sink,
+}
+
+impl<M> std::fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("node", &self.node)
+            .finish()
+    }
 }
 
 impl<'a, M> Context<'a, M> {
+    /// Whether the active trace sink consumes events. Protocol code should
+    /// check this before building event payloads that allocate (names,
+    /// rationale strings) so the default [`dde_obs::NullSink`] costs one
+    /// branch per site.
+    pub fn obs_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Records a trace event stamped with the current simulated time and
+    /// this node's identity. A no-op when the sink is disabled.
+    pub fn emit(&mut self, kind: EventKind) {
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord {
+                at: self.now,
+                node: self.node.index() as u32,
+                kind,
+            });
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -294,7 +324,10 @@ pub struct Simulator<P: Protocol> {
     metrics: Metrics,
     rng: SmallRng,
     events_processed: u64,
-    trace: Option<Vec<TraceEvent>>,
+    sink: Box<dyn Sink>,
+    // Shim for the deprecated enable_trace/take_trace path: a handle to the
+    // MemorySink installed as `sink`, so take_trace can read it back.
+    legacy_trace: Option<SharedSink<MemorySink>>,
     trace_cap: usize,
     medium: MediumMode,
     // number of in-flight transmissions per node (HalfDuplexTx: 0 or 1)
@@ -339,7 +372,8 @@ impl<P: Protocol> Simulator<P> {
             metrics: Metrics::new(),
             rng: SmallRng::seed_from_u64(seed),
             events_processed: 0,
-            trace: None,
+            sink: Box::new(NullSink),
+            legacy_trace: None,
             trace_cap: 0,
             medium: MediumMode::FullDuplex,
             node_tx_busy: vec![0; n],
@@ -354,6 +388,18 @@ impl<P: Protocol> Simulator<P> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Records a simulator-level trace event attributed to `node`, stamped
+    /// with the current simulated time. No-op when the sink is disabled.
+    fn emit(&mut self, node: NodeId, kind: EventKind) {
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord {
+                at: self.now,
+                node: node.index() as u32,
+                kind,
+            });
+        }
     }
 
     /// Schedules an external stimulus (e.g. a user query) for `node` at
@@ -404,6 +450,14 @@ impl<P: Protocol> Simulator<P> {
                 if !self.node_up[n.index()] {
                     return; // already down: idempotent
                 }
+                self.emit(
+                    n,
+                    EventKind::Fault {
+                        fault: "node-crash",
+                        node: n.index() as u32,
+                        peer: None,
+                    },
+                );
                 self.node_up[n.index()] = false;
                 self.topology.set_node_enabled(n, false);
                 self.topology.rebuild_routes();
@@ -420,6 +474,14 @@ impl<P: Protocol> Simulator<P> {
                 if self.node_up[n.index()] {
                     return; // already up: idempotent
                 }
+                self.emit(
+                    n,
+                    EventKind::Fault {
+                        fault: "node-recover",
+                        node: n.index() as u32,
+                        peer: None,
+                    },
+                );
                 self.node_up[n.index()] = true;
                 self.topology.set_node_enabled(n, true);
                 self.topology.rebuild_routes();
@@ -430,6 +492,7 @@ impl<P: Protocol> Simulator<P> {
                         node: n,
                         topology: &self.topology,
                         commands: &mut commands,
+                        sink: &mut *self.sink,
                     };
                     self.nodes[n.index()].on_recover(&mut ctx);
                 }
@@ -442,6 +505,14 @@ impl<P: Protocol> Simulator<P> {
             }
             FaultEvent::LinkDown(a, b) => {
                 if self.topology.set_link_enabled(a, b, false) {
+                    self.emit(
+                        a,
+                        EventKind::Fault {
+                            fault: "link-down",
+                            node: a.index() as u32,
+                            peer: Some(b.index() as u32),
+                        },
+                    );
                     self.topology.rebuild_routes();
                     self.purge_link_queues(a, b);
                     self.purge_link_queues(b, a);
@@ -449,6 +520,14 @@ impl<P: Protocol> Simulator<P> {
             }
             FaultEvent::LinkUp(a, b) => {
                 if self.topology.set_link_enabled(a, b, true) {
+                    self.emit(
+                        a,
+                        EventKind::Fault {
+                            fault: "link-up",
+                            node: a.index() as u32,
+                            peer: Some(b.index() as u32),
+                        },
+                    );
                     self.topology.rebuild_routes();
                 }
             }
@@ -463,6 +542,16 @@ impl<P: Protocol> Simulator<P> {
             link.foreground.clear();
             link.background.clear();
             self.metrics.messages_purged_by_fault += purged;
+            if purged > 0 {
+                self.emit(
+                    from,
+                    EventKind::Purge {
+                        from: from.index() as u32,
+                        to: to.index() as u32,
+                        count: purged,
+                    },
+                );
+            }
         }
     }
 
@@ -499,17 +588,72 @@ impl<P: Protocol> Simulator<P> {
         self.medium = medium;
     }
 
-    /// Starts recording every transmission (up to `cap` events) for
+    /// Installs a trace sink; every subsequent simulator and protocol event
+    /// is recorded into it. The default is [`dde_obs::NullSink`], whose
+    /// cost is one `enabled()` branch per instrumentation site.
+    pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
+        self.legacy_trace = None;
+        self.sink = sink;
+    }
+
+    /// The active trace sink (e.g. to flush it mid-run).
+    pub fn sink_mut(&mut self) -> &mut dyn Sink {
+        &mut *self.sink
+    }
+
+    /// Removes and returns the active sink, restoring the null sink.
+    pub fn take_sink(&mut self) -> Box<dyn Sink> {
+        self.legacy_trace = None;
+        std::mem::replace(&mut self.sink, Box::new(NullSink))
+    }
+
+    /// Starts recording transmissions (up to `cap` events) for
     /// message-flow inspection; see [`Simulator::take_trace`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulator::set_sink with a dde-obs sink; transmissions are EventKind::Transmit records"
+    )]
     pub fn enable_trace(&mut self, cap: usize) {
-        self.trace = Some(Vec::new());
+        let shared = SharedSink::new(MemorySink::new());
+        self.legacy_trace = Some(shared.clone());
         self.trace_cap = cap;
+        self.sink = Box::new(shared);
     }
 
     /// Returns and clears the recorded trace (empty if tracing was never
-    /// enabled).
+    /// enabled), uninstalling the sink that
+    /// [`enable_trace`](Simulator::enable_trace) set up.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulator::set_sink with a dde-obs sink; transmissions are EventKind::Transmit records"
+    )]
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        self.trace.take().unwrap_or_default()
+        let Some(shared) = self.legacy_trace.take() else {
+            return Vec::new();
+        };
+        self.sink = Box::new(NullSink);
+        shared
+            .with(|s| s.take())
+            .into_iter()
+            .filter_map(|rec| match rec.kind {
+                EventKind::Transmit {
+                    from,
+                    to,
+                    msg,
+                    bytes,
+                    background,
+                } => Some(TraceEvent {
+                    at: rec.at,
+                    from: NodeId(from as usize),
+                    to: NodeId(to as usize),
+                    kind: msg,
+                    bytes,
+                    background,
+                }),
+                _ => None,
+            })
+            .take(self.trace_cap)
+            .collect()
     }
 
     /// The topology the simulation runs over.
@@ -570,19 +714,49 @@ impl<P: Protocol> Simulator<P> {
             if !self.topology.is_link_enabled(*from, *to) {
                 self.metrics.messages_dropped += 1;
                 self.metrics.messages_dropped_by_fault += 1;
+                let (from, to) = (*from, *to);
+                self.emit(
+                    to,
+                    EventKind::Drop {
+                        from: from.index() as u32,
+                        to: to.index() as u32,
+                        reason: "link-down",
+                    },
+                );
                 return true;
             }
         }
         if !self.node_up[node_id.index()] {
-            if let Event::Deliver { .. } = event {
+            if let Event::Deliver { from, to, .. } = &event {
                 self.metrics.messages_dropped += 1;
                 // A destination downed by the fault schedule (rather than by
                 // a manual `set_node_up`) is visible in the topology state.
                 if !self.topology.is_node_enabled(node_id) {
                     self.metrics.messages_dropped_by_fault += 1;
                 }
+                let (from, to) = (*from, *to);
+                self.emit(
+                    to,
+                    EventKind::Drop {
+                        from: from.index() as u32,
+                        to: to.index() as u32,
+                        reason: "node-down",
+                    },
+                );
             }
             return true;
+        }
+        if let Event::Deliver { from, to, msg } = &event {
+            let kind = msg.kind();
+            let (from, to) = (*from, *to);
+            self.emit(
+                to,
+                EventKind::Deliver {
+                    from: from.index() as u32,
+                    to: to.index() as u32,
+                    msg: kind,
+                },
+            );
         }
 
         {
@@ -591,6 +765,7 @@ impl<P: Protocol> Simulator<P> {
                 node: node_id,
                 topology: &self.topology,
                 commands: &mut commands,
+                sink: &mut *self.sink,
             };
             let node = &mut self.nodes[node_id.index()];
             match event {
@@ -640,24 +815,31 @@ impl<P: Protocol> Simulator<P> {
         self.links.entry((from, to)).or_default().busy = true;
         self.node_tx_busy[from.index()] += 1;
         self.metrics.record_send(from, to, bytes, msg.kind());
-        if let Some(trace) = &mut self.trace {
-            if trace.len() < self.trace_cap {
-                trace.push(TraceEvent {
-                    at: self.now,
-                    from,
-                    to,
-                    kind: msg.kind(),
-                    bytes,
-                    background: msg.background(),
-                });
-            }
-        }
+        self.emit(
+            from,
+            EventKind::Transmit {
+                from: from.index() as u32,
+                to: to.index() as u32,
+                msg: msg.kind(),
+                bytes,
+                background: msg.background(),
+            },
+        );
         let lost = spec.loss > 0.0 && self.rng.gen::<f64>() < spec.loss;
         if !lost {
             let arrival = depart + spec.latency;
             self.push(arrival, Event::Deliver { to, from, msg });
         } else {
             self.metrics.messages_lost += 1;
+            self.emit(
+                from,
+                EventKind::Loss {
+                    from: from.index() as u32,
+                    to: to.index() as u32,
+                    msg: msg.kind(),
+                    bytes,
+                },
+            );
         }
         self.push(depart, Event::LinkFree { from, to });
     }
@@ -1101,6 +1283,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn trace_records_transmissions() {
         let topo = Topology::line(2, LinkSpec::mbps1());
         let mut sim = Simulator::new(topo, vec![echo(true), echo(false)], 1);
@@ -1118,6 +1301,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn trace_respects_cap() {
         struct Burst2;
         impl Protocol for Burst2 {
@@ -1137,6 +1321,42 @@ mod tests {
         sim.enable_trace(3);
         sim.run();
         assert_eq!(sim.take_trace().len(), 3);
+    }
+
+    #[test]
+    fn sink_records_link_layer_lifecycle() {
+        use dde_obs::{MemorySink, SharedSink};
+        let topo = Topology::line(2, LinkSpec::mbps1());
+        let mut sim = Simulator::new(topo, vec![echo(true), echo(false)], 1);
+        let shared = SharedSink::new(MemorySink::new());
+        sim.set_sink(Box::new(shared.clone()));
+        sim.run();
+        let records = shared.with(|s| s.take());
+        let kinds: Vec<&'static str> = records.iter().map(|r| r.kind.kind_name()).collect();
+        // One transmission at t=0, delivered after tx + latency.
+        assert_eq!(kinds, vec!["transmit", "deliver"]);
+        assert_eq!(records[0].node, 0);
+        assert_eq!(records[1].node, 1);
+        assert_eq!(records[1].at, SimTime::from_millis(1001));
+    }
+
+    #[test]
+    fn sink_records_fault_lifecycle() {
+        use dde_obs::{MemorySink, SharedSink};
+        let topo = Topology::line(2, LinkSpec::mbps1());
+        let mut sim = Simulator::new(topo, vec![echo(true), echo(false)], 1);
+        let mut faults = FaultSchedule::new();
+        faults.crash_at(SimTime::from_millis(500), NodeId(1));
+        faults.recover_at(SimTime::from_secs(5), NodeId(1));
+        sim.install_faults(&faults);
+        let shared = SharedSink::new(MemorySink::new());
+        sim.set_sink(Box::new(shared.clone()));
+        sim.run();
+        let kinds: Vec<&'static str> =
+            shared.with(|s| s.events().iter().map(|r| r.kind.kind_name()).collect());
+        // transmit at t=0, crash at 0.5s, arrival dropped at 1.001s,
+        // recovery at 5s.
+        assert_eq!(kinds, vec!["transmit", "fault", "drop", "fault"]);
     }
 
     #[test]

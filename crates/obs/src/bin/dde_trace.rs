@@ -1,0 +1,109 @@
+//! `dde-trace` — inspect and diff deterministic JSONL traces.
+//!
+//! ```text
+//! dde-trace diff A.jsonl B.jsonl    # exit 0 if identical, 1 if divergent
+//! dde-trace summary A.jsonl         # per-kind event counts + time span
+//! dde-trace chrome A.jsonl          # Chrome trace-event JSON on stdout
+//! ```
+
+// CLI entry point: argv/exit-code handling is inherently ambient; the
+// determinism rules target simulation code, not operator tooling.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
+use dde_obs::{chrome_trace_from_jsonl, diff_jsonl, json::parse};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Writes `text` to stdout; a closed pipe (e.g. `| head`) is not an error.
+fn write_stdout(text: &str) -> Result<(), String> {
+    match std::io::stdout().write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("dde-trace: cannot write to stdout: {e}")),
+    }
+}
+
+const USAGE: &str = "usage:
+  dde-trace diff <left.jsonl> <right.jsonl>   structural diff; exit 1 on divergence
+  dde-trace summary <trace.jsonl>             per-kind counts and time span
+  dde-trace chrome <trace.jsonl>              convert to Chrome trace-event JSON
+";
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("dde-trace: cannot read {path}: {e}"))
+}
+
+fn cmd_diff(left: &str, right: &str) -> Result<ExitCode, String> {
+    let l = read(left)?;
+    let r = read(right)?;
+    let diff = diff_jsonl(&l, &r);
+    write_stdout(&diff.render())?;
+    Ok(if diff.is_identical() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_summary(path: &str) -> Result<ExitCode, String> {
+    let text = read(path)?;
+    let mut out = String::new();
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut events = 0u64;
+    let mut first_t: Option<i64> = None;
+    let mut last_t: Option<i64> = None;
+    for line in text.lines() {
+        events += 1;
+        let kind = parse(line)
+            .ok()
+            .and_then(|v| {
+                if let Some(t) = v.get("t").and_then(|t| t.as_int()) {
+                    first_t = Some(first_t.map_or(t, |f| f.min(t)));
+                    last_t = Some(last_t.map_or(t, |l| l.max(t)));
+                }
+                v.get("kind").and_then(|k| k.as_str().map(String::from))
+            })
+            .unwrap_or_else(|| "?".to_string());
+        *kinds.entry(kind).or_default() += 1;
+    }
+    out.push_str(&format!("events: {events}\n"));
+    if let (Some(f), Some(l)) = (first_t, last_t) {
+        out.push_str(&format!(
+            "span:   t={f}us .. t={l}us ({:.3}s)\n",
+            (l - f) as f64 / 1e6
+        ));
+    }
+    for (kind, count) in &kinds {
+        out.push_str(&format!("  {kind:>14}: {count:>8}\n"));
+    }
+    write_stdout(&out)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_chrome(path: &str) -> Result<ExitCode, String> {
+    let text = read(path)?;
+    write_stdout(&chrome_trace_from_jsonl(&text))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args {
+        [cmd, a, b] if cmd == "diff" => cmd_diff(a, b),
+        [cmd, a] if cmd == "summary" => cmd_summary(a),
+        [cmd, a] if cmd == "chrome" => cmd_chrome(a),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    // lint: allow(nondeterminism) — CLI argv parsing, not simulation state.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

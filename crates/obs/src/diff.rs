@@ -1,0 +1,158 @@
+//! Structural diffing of JSONL traces.
+//!
+//! Because traces are deterministic, equality is exact: the diff reports
+//! the *first divergent line* (the replay-debugging entry point — the first
+//! event where two runs disagree) plus per-kind event-count deltas so a
+//! divergence can be localised to a subsystem at a glance.
+
+use crate::json::parse;
+use std::collections::BTreeMap;
+
+/// The first point at which two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number of the first disagreement.
+    pub line: usize,
+    /// The left trace's line, if it has one at this position.
+    pub left: Option<String>,
+    /// The right trace's line, if it has one at this position.
+    pub right: Option<String>,
+}
+
+/// Result of structurally diffing two JSONL traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// Event count of the left trace.
+    pub left_events: usize,
+    /// Event count of the right trace.
+    pub right_events: usize,
+    /// First divergent line, if any.
+    pub divergence: Option<Divergence>,
+    /// Per-kind `(left count, right count)` for every kind appearing in
+    /// either trace, in lexicographic kind order. Lines that fail to parse
+    /// are tallied under the pseudo-kind `"?"`.
+    pub kind_counts: BTreeMap<String, (u64, u64)>,
+}
+
+impl TraceDiff {
+    /// Whether the traces are byte-identical line by line.
+    pub fn is_identical(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// Render a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "events: left={} right={}\n",
+            self.left_events, self.right_events
+        ));
+        match &self.divergence {
+            None => out.push_str("divergence: none (traces identical)\n"),
+            Some(d) => {
+                out.push_str(&format!("divergence: first at line {}\n", d.line));
+                out.push_str(&format!(
+                    "  left:  {}\n",
+                    d.left.as_deref().unwrap_or("<end of trace>")
+                ));
+                out.push_str(&format!(
+                    "  right: {}\n",
+                    d.right.as_deref().unwrap_or("<end of trace>")
+                ));
+            }
+        }
+        out.push_str("per-kind counts (left/right):\n");
+        for (kind, (l, r)) in &self.kind_counts {
+            let marker = if l == r { " " } else { "!" };
+            out.push_str(&format!("{marker} {kind:>14}: {l:>8} {r:>8}\n"));
+        }
+        out
+    }
+}
+
+fn kind_of(line: &str) -> String {
+    parse(line)
+        .ok()
+        .and_then(|v| v.get("kind").and_then(|k| k.as_str().map(String::from)))
+        .unwrap_or_else(|| "?".to_string())
+}
+
+/// Diff two JSONL traces (full file contents, one event per line).
+pub fn diff_jsonl(left: &str, right: &str) -> TraceDiff {
+    let l_lines: Vec<&str> = left.lines().collect();
+    let r_lines: Vec<&str> = right.lines().collect();
+
+    let mut divergence = None;
+    let upto = l_lines.len().max(r_lines.len());
+    for i in 0..upto {
+        let l = l_lines.get(i).copied();
+        let r = r_lines.get(i).copied();
+        if l != r {
+            divergence = Some(Divergence {
+                line: i + 1,
+                left: l.map(String::from),
+                right: r.map(String::from),
+            });
+            break;
+        }
+    }
+
+    let mut kind_counts: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for line in &l_lines {
+        kind_counts.entry(kind_of(line)).or_default().0 += 1;
+    }
+    for line in &r_lines {
+        kind_counts.entry(kind_of(line)).or_default().1 += 1;
+    }
+
+    TraceDiff {
+        left_events: l_lines.len(),
+        right_events: r_lines.len(),
+        divergence,
+        kind_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &str =
+        "{\"t\":1,\"node\":0,\"kind\":\"transmit\"}\n{\"t\":2,\"node\":0,\"kind\":\"deliver\"}\n";
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let d = diff_jsonl(A, A);
+        assert!(d.is_identical());
+        assert_eq!(d.left_events, 2);
+        assert_eq!(d.kind_counts.get("transmit"), Some(&(1, 1)));
+        assert!(d.render().contains("divergence: none"));
+    }
+
+    #[test]
+    fn first_divergent_line_is_reported() {
+        let b = "{\"t\":1,\"node\":0,\"kind\":\"transmit\"}\n{\"t\":3,\"node\":0,\"kind\":\"deliver\"}\n";
+        let d = diff_jsonl(A, b);
+        let div = d.divergence.expect("should diverge");
+        assert_eq!(div.line, 2);
+        assert!(div.left.unwrap().contains("\"t\":2"));
+        assert!(div.right.unwrap().contains("\"t\":3"));
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_the_tail() {
+        let b = "{\"t\":1,\"node\":0,\"kind\":\"transmit\"}\n";
+        let d = diff_jsonl(A, b);
+        let div = d.divergence.expect("should diverge");
+        assert_eq!(div.line, 2);
+        assert!(div.right.is_none());
+        assert_eq!(d.kind_counts.get("deliver"), Some(&(1, 0)));
+    }
+
+    #[test]
+    fn unparseable_lines_count_as_unknown() {
+        let d = diff_jsonl("not json\n", "not json\n");
+        assert!(d.is_identical());
+        assert_eq!(d.kind_counts.get("?"), Some(&(1, 1)));
+    }
+}

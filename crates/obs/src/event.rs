@@ -1,0 +1,531 @@
+//! The trace event taxonomy: typed events over the full query lifecycle.
+//!
+//! Events cover both layers of the stack. The network simulator emits
+//! link-level events (`transmit`, `deliver`, `loss`, `drop`, `purge`,
+//! `fault`); the Athena protocol emits decision-level events (`query-init`,
+//! `plan`, `request-send`, `cache-hit`/`cache-miss`, `label-hit`,
+//! `approx-hit`, `local-sample`, `annotate`, `label-share`,
+//! `prefetch-push`, `triage-drop`, `query-resolved`, `query-missed`).
+//!
+//! A [`TraceRecord`] stamps an [`EventKind`] with the *simulated* time it
+//! occurred and the node reporting it. Node identity is a plain `u32`
+//! (`NodeId` lives upstream in `dde-netsim`, which depends on this crate).
+
+use crate::json::JsonValue;
+use dde_logic::time::SimTime;
+
+/// One trace event: what happened, where, at which simulated instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Index of the node reporting the event.
+    pub node: u32,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+/// What happened. Variants carrying `String` payloads should only be built
+/// when the active sink is [enabled](crate::sink::Sink::enabled), so the
+/// null sink costs a branch and nothing else.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A message started clocking onto the directed link `from → to`.
+    Transmit {
+        /// Transmitting node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// Message kind tag (`announce`, `request`, `data`, `label`, …).
+        msg: &'static str,
+        /// Wire size in bytes.
+        bytes: u64,
+        /// Whether it rode in the background priority class.
+        background: bool,
+    },
+    /// A message arrived and is being handled at `to`.
+    Deliver {
+        /// Transmitting node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// Message kind tag.
+        msg: &'static str,
+    },
+    /// A transmission was lost to link noise (seeded sampling).
+    Loss {
+        /// Transmitting node.
+        from: u32,
+        /// Intended receiver.
+        to: u32,
+        /// Message kind tag.
+        msg: &'static str,
+        /// Wire size in bytes (bandwidth was still consumed).
+        bytes: u64,
+    },
+    /// An in-flight message was dropped at arrival.
+    Drop {
+        /// Transmitting node.
+        from: u32,
+        /// Intended receiver.
+        to: u32,
+        /// Why: `link-down` or `node-down`.
+        reason: &'static str,
+    },
+    /// Queued (never transmitted) messages were purged from a link by a
+    /// fault.
+    Purge {
+        /// Transmitting side of the purged link.
+        from: u32,
+        /// Receiving side of the purged link.
+        to: u32,
+        /// How many messages vanished.
+        count: u64,
+    },
+    /// A scheduled fault transition was applied.
+    Fault {
+        /// Which: `node-crash`, `node-recover`, `link-down`, `link-up`.
+        fault: &'static str,
+        /// The affected node (or one endpoint of the affected link).
+        node: u32,
+        /// The other link endpoint, for link faults.
+        peer: Option<u32>,
+    },
+    /// A decision query was issued at its origin (`Query_Init`).
+    QueryInit {
+        /// Query id.
+        query: u64,
+        /// Origin node.
+        origin: u32,
+    },
+    /// The origin planned its retrieval: the decision-driven ordering
+    /// rationale, rendered by `dde-sched`'s `explain`.
+    Plan {
+        /// Query id.
+        query: u64,
+        /// Strategy code (`cmp`, `slt`, `lcf`, `lvf`, `lvfl`).
+        strategy: &'static str,
+        /// Number of candidate objects selected.
+        candidates: u64,
+        /// Human-readable ordering rationale (term ranking, expected
+        /// costs, short-circuit ratios).
+        rationale: String,
+    },
+    /// The origin sent a fetch request into the network.
+    RequestSend {
+        /// Query id.
+        query: u64,
+        /// Requested object name.
+        name: String,
+        /// First hop the request was sent to.
+        hop: u32,
+    },
+    /// A request was answered from this node's content store.
+    CacheHit {
+        /// Served object name.
+        name: String,
+        /// Neighbor the reply was sent to.
+        requester: u32,
+    },
+    /// A request could not be served locally and was forwarded (or hit a
+    /// dead end).
+    CacheMiss {
+        /// Requested object name.
+        name: String,
+        /// Next hop it was forwarded to, if a route existed.
+        forwarded_to: Option<u32>,
+    },
+    /// A request was answered with cached *labels* instead of data (§VI-D).
+    LabelHit {
+        /// Neighbor the labels were sent to.
+        requester: u32,
+        /// How many of the request's labels were answered.
+        labels: u64,
+    },
+    /// A request was answered with an approximate (same-prefix) substitute
+    /// object (§V-A).
+    ApproxHit {
+        /// Requested object name.
+        name: String,
+        /// The substitute actually served.
+        substitute: String,
+    },
+    /// A label was resolved by sampling a co-located sensor (no network).
+    LocalSample {
+        /// Sampled object name.
+        name: String,
+    },
+    /// Evidence was annotated into a label value at the query origin.
+    Annotate {
+        /// Query id.
+        query: u64,
+        /// The judged label.
+        label: String,
+        /// The judged value.
+        value: bool,
+    },
+    /// A label value was shared toward the evidence source (§VI-D).
+    LabelShare {
+        /// The shared label.
+        label: String,
+        /// The shared value.
+        value: bool,
+        /// First hop of the share.
+        toward: u32,
+    },
+    /// A source-side prefetch push was initiated (§VI-A).
+    PrefetchPush {
+        /// Pushed object name.
+        name: String,
+        /// First hop toward the anticipated consumer.
+        toward: u32,
+    },
+    /// A background push was dropped by sub-additive utility triage (§V-B).
+    TriageDrop {
+        /// The redundant object name.
+        name: String,
+        /// The hop it would have been pushed to.
+        hop: u32,
+    },
+    /// A query reached a decision before its deadline.
+    QueryResolved {
+        /// Query id.
+        query: u64,
+        /// `viable` or `infeasible`.
+        outcome: &'static str,
+        /// Issue-to-decision latency in microseconds.
+        latency_us: u64,
+    },
+    /// A query's deadline passed while undecided.
+    QueryMissed {
+        /// Query id.
+        query: u64,
+    },
+}
+
+impl EventKind {
+    /// The stable kind tag used in JSONL traces and per-kind diff deltas.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EventKind::Transmit { .. } => "transmit",
+            EventKind::Deliver { .. } => "deliver",
+            EventKind::Loss { .. } => "loss",
+            EventKind::Drop { .. } => "drop",
+            EventKind::Purge { .. } => "purge",
+            EventKind::Fault { .. } => "fault",
+            EventKind::QueryInit { .. } => "query-init",
+            EventKind::Plan { .. } => "plan",
+            EventKind::RequestSend { .. } => "request-send",
+            EventKind::CacheHit { .. } => "cache-hit",
+            EventKind::CacheMiss { .. } => "cache-miss",
+            EventKind::LabelHit { .. } => "label-hit",
+            EventKind::ApproxHit { .. } => "approx-hit",
+            EventKind::LocalSample { .. } => "local-sample",
+            EventKind::Annotate { .. } => "annotate",
+            EventKind::LabelShare { .. } => "label-share",
+            EventKind::PrefetchPush { .. } => "prefetch-push",
+            EventKind::TriageDrop { .. } => "triage-drop",
+            EventKind::QueryResolved { .. } => "query-resolved",
+            EventKind::QueryMissed { .. } => "query-missed",
+        }
+    }
+
+    /// The variant's payload fields as ordered JSON pairs (without the
+    /// common `t`/`node`/`kind` envelope).
+    pub fn fields(&self) -> Vec<(String, JsonValue)> {
+        fn u(v: u32) -> JsonValue {
+            JsonValue::Int(v as i64)
+        }
+        fn n(v: u64) -> JsonValue {
+            JsonValue::Int(v as i64)
+        }
+        fn s(v: &str) -> JsonValue {
+            JsonValue::Str(v.to_string())
+        }
+        match self {
+            EventKind::Transmit {
+                from,
+                to,
+                msg,
+                bytes,
+                background,
+            } => vec![
+                ("from".into(), u(*from)),
+                ("to".into(), u(*to)),
+                ("msg".into(), s(msg)),
+                ("bytes".into(), n(*bytes)),
+                ("bg".into(), JsonValue::Bool(*background)),
+            ],
+            EventKind::Deliver { from, to, msg } => vec![
+                ("from".into(), u(*from)),
+                ("to".into(), u(*to)),
+                ("msg".into(), s(msg)),
+            ],
+            EventKind::Loss {
+                from,
+                to,
+                msg,
+                bytes,
+            } => vec![
+                ("from".into(), u(*from)),
+                ("to".into(), u(*to)),
+                ("msg".into(), s(msg)),
+                ("bytes".into(), n(*bytes)),
+            ],
+            EventKind::Drop { from, to, reason } => vec![
+                ("from".into(), u(*from)),
+                ("to".into(), u(*to)),
+                ("reason".into(), s(reason)),
+            ],
+            EventKind::Purge { from, to, count } => vec![
+                ("from".into(), u(*from)),
+                ("to".into(), u(*to)),
+                ("count".into(), n(*count)),
+            ],
+            EventKind::Fault { fault, node, peer } => {
+                let mut pairs = vec![("fault".into(), s(fault)), ("a".into(), u(*node))];
+                if let Some(p) = peer {
+                    pairs.push(("b".into(), u(*p)));
+                }
+                pairs
+            }
+            EventKind::QueryInit { query, origin } => {
+                vec![("query".into(), n(*query)), ("origin".into(), u(*origin))]
+            }
+            EventKind::Plan {
+                query,
+                strategy,
+                candidates,
+                rationale,
+            } => vec![
+                ("query".into(), n(*query)),
+                ("strategy".into(), s(strategy)),
+                ("candidates".into(), n(*candidates)),
+                ("rationale".into(), s(rationale)),
+            ],
+            EventKind::RequestSend { query, name, hop } => vec![
+                ("query".into(), n(*query)),
+                ("name".into(), s(name)),
+                ("hop".into(), u(*hop)),
+            ],
+            EventKind::CacheHit { name, requester } => vec![
+                ("name".into(), s(name)),
+                ("requester".into(), u(*requester)),
+            ],
+            EventKind::CacheMiss { name, forwarded_to } => vec![
+                ("name".into(), s(name)),
+                (
+                    "forwarded_to".into(),
+                    forwarded_to.map(u).unwrap_or(JsonValue::Null),
+                ),
+            ],
+            EventKind::LabelHit { requester, labels } => vec![
+                ("requester".into(), u(*requester)),
+                ("labels".into(), n(*labels)),
+            ],
+            EventKind::ApproxHit { name, substitute } => vec![
+                ("name".into(), s(name)),
+                ("substitute".into(), s(substitute)),
+            ],
+            EventKind::LocalSample { name } => vec![("name".into(), s(name))],
+            EventKind::Annotate {
+                query,
+                label,
+                value,
+            } => vec![
+                ("query".into(), n(*query)),
+                ("label".into(), s(label)),
+                ("value".into(), JsonValue::Bool(*value)),
+            ],
+            EventKind::LabelShare {
+                label,
+                value,
+                toward,
+            } => vec![
+                ("label".into(), s(label)),
+                ("value".into(), JsonValue::Bool(*value)),
+                ("toward".into(), u(*toward)),
+            ],
+            EventKind::PrefetchPush { name, toward } => {
+                vec![("name".into(), s(name)), ("toward".into(), u(*toward))]
+            }
+            EventKind::TriageDrop { name, hop } => {
+                vec![("name".into(), s(name)), ("hop".into(), u(*hop))]
+            }
+            EventKind::QueryResolved {
+                query,
+                outcome,
+                latency_us,
+            } => vec![
+                ("query".into(), n(*query)),
+                ("outcome".into(), s(outcome)),
+                ("latency_us".into(), n(*latency_us)),
+            ],
+            EventKind::QueryMissed { query } => vec![("query".into(), n(*query))],
+        }
+    }
+}
+
+impl TraceRecord {
+    /// The record as a JSON object with a fixed key order:
+    /// `t` (microseconds of simulated time), `node`, `kind`, then the
+    /// variant's payload fields.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("t".into(), JsonValue::Int(self.at.as_micros() as i64)),
+            ("node".into(), JsonValue::Int(self.node as i64)),
+            (
+                "kind".into(),
+                JsonValue::Str(self.kind.kind_name().to_string()),
+            ),
+        ];
+        pairs.extend(self.kind.fields());
+        JsonValue::Object(pairs)
+    }
+
+    /// The record as one JSONL line (no trailing newline).
+    pub fn to_jsonl_line(&self) -> String {
+        self.to_json_value().to_compact_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn jsonl_line_has_fixed_envelope() {
+        let rec = TraceRecord {
+            at: SimTime::from_micros(1500),
+            node: 3,
+            kind: EventKind::Transmit {
+                from: 3,
+                to: 4,
+                msg: "data",
+                bytes: 450_000,
+                background: false,
+            },
+        };
+        assert_eq!(
+            rec.to_jsonl_line(),
+            r#"{"t":1500,"node":3,"kind":"transmit","from":3,"to":4,"msg":"data","bytes":450000,"bg":false}"#
+        );
+    }
+
+    #[test]
+    fn every_variant_serializes_and_parses() {
+        let kinds = vec![
+            EventKind::Transmit {
+                from: 0,
+                to: 1,
+                msg: "request",
+                bytes: 64,
+                background: true,
+            },
+            EventKind::Deliver {
+                from: 0,
+                to: 1,
+                msg: "data",
+            },
+            EventKind::Loss {
+                from: 0,
+                to: 1,
+                msg: "label",
+                bytes: 9,
+            },
+            EventKind::Drop {
+                from: 0,
+                to: 1,
+                reason: "link-down",
+            },
+            EventKind::Purge {
+                from: 0,
+                to: 1,
+                count: 3,
+            },
+            EventKind::Fault {
+                fault: "link-down",
+                node: 0,
+                peer: Some(1),
+            },
+            EventKind::Fault {
+                fault: "node-crash",
+                node: 5,
+                peer: None,
+            },
+            EventKind::QueryInit {
+                query: 7,
+                origin: 2,
+            },
+            EventKind::Plan {
+                query: 7,
+                strategy: "lvf",
+                candidates: 4,
+                rationale: "1. course of action #0\n".into(),
+            },
+            EventKind::RequestSend {
+                query: 7,
+                name: "/city/x".into(),
+                hop: 1,
+            },
+            EventKind::CacheHit {
+                name: "/city/x".into(),
+                requester: 0,
+            },
+            EventKind::CacheMiss {
+                name: "/city/x".into(),
+                forwarded_to: None,
+            },
+            EventKind::LabelHit {
+                requester: 0,
+                labels: 2,
+            },
+            EventKind::ApproxHit {
+                name: "/city/x/a".into(),
+                substitute: "/city/x/b".into(),
+            },
+            EventKind::LocalSample {
+                name: "/city/x".into(),
+            },
+            EventKind::Annotate {
+                query: 7,
+                label: "cond".into(),
+                value: true,
+            },
+            EventKind::LabelShare {
+                label: "cond".into(),
+                value: false,
+                toward: 3,
+            },
+            EventKind::PrefetchPush {
+                name: "/city/x".into(),
+                toward: 3,
+            },
+            EventKind::TriageDrop {
+                name: "/city/x".into(),
+                hop: 3,
+            },
+            EventKind::QueryResolved {
+                query: 7,
+                outcome: "viable",
+                latency_us: 1_200_000,
+            },
+            EventKind::QueryMissed { query: 8 },
+        ];
+        for kind in kinds {
+            let rec = TraceRecord {
+                at: SimTime::from_micros(9),
+                node: 0,
+                kind,
+            };
+            let line = rec.to_jsonl_line();
+            let v = parse(&line).expect(&line);
+            assert_eq!(
+                v.get("kind").and_then(|k| k.as_str()),
+                Some(rec.kind.kind_name())
+            );
+            assert_eq!(v.get("t").and_then(|t| t.as_int()), Some(9));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are compile-time constants (1 ms … 100 s plus an overflow
+//! bucket), so merging histograms across repetitions is exact and the
+//! percentile read-out is deterministic: no ambient configuration, no
+//! dynamic resizing, no floating-point accumulation.
+
+use dde_logic::time::SimDuration;
+
+/// Upper bounds (inclusive) of the finite buckets, in microseconds:
+/// a 1–2–5 ladder from 1 ms to 100 s.
+pub const BUCKET_BOUNDS_US: [u64; 16] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+];
+
+const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1; // + overflow
+
+/// A fixed-bucket histogram of simulated durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Fold another histogram into this one (exact: identical buckets).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded duration, if any sample was recorded.
+    pub fn max(&self) -> Option<SimDuration> {
+        (self.total > 0).then(|| SimDuration::from_micros(self.max_us))
+    }
+
+    /// The `p`-th percentile (0–100) as a bucket upper bound, capped at the
+    /// observed maximum. `None` if the histogram is empty or `p` is out of
+    /// range.
+    ///
+    /// Resolution is the bucket ladder (1–2–5), which is plenty for the
+    /// "did the tail move" question percentiles answer here.
+    pub fn percentile(&self, p: f64) -> Option<SimDuration> {
+        if self.total == 0 || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        // Rank of the percentile sample, 1-based, computed in integers:
+        // ceil(p/100 * total), clamped to at least 1.
+        let scaled = (p * self.total as f64 / 100.0).ceil() as u64;
+        let rank = scaled.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = BUCKET_BOUNDS_US.get(idx).copied().unwrap_or(self.max_us);
+                return Some(SimDuration::from_micros(bound.min(self.max_us)));
+            }
+        }
+        Some(SimDuration::from_micros(self.max_us))
+    }
+
+    /// Median latency (bucket-resolution).
+    pub fn p50(&self) -> Option<SimDuration> {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile latency (bucket-resolution).
+    pub fn p95(&self) -> Option<SimDuration> {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile latency (bucket-resolution).
+    pub fn p99(&self) -> Option<SimDuration> {
+        self.percentile(99.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_micros(v * 1_000)
+    }
+
+    #[test]
+    fn empty_has_no_percentiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn percentiles_use_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(ms(1)); // bucket ≤1ms
+        }
+        h.record(ms(90_000)); // bucket ≤100s
+        assert_eq!(h.p50(), Some(ms(1)));
+        assert_eq!(h.p95(), Some(ms(1)));
+        // The tail sample sits in the ≤100s bucket but is capped at the
+        // observed max of 90s.
+        assert_eq!(h.percentile(100.0), Some(ms(90_000)));
+        assert_eq!(h.max(), Some(ms(90_000)));
+    }
+
+    #[test]
+    fn overflow_bucket_caps_at_max() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(250_000_000)); // beyond 100s
+        assert_eq!(h.p50(), Some(SimDuration::from_micros(250_000_000)));
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..10 {
+            a.record(ms(5));
+            b.record(ms(500));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert_eq!(a.p50(), Some(ms(5)));
+        assert_eq!(a.p95(), Some(ms(500)));
+    }
+}

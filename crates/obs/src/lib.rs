@@ -1,0 +1,40 @@
+//! # dde-obs — deterministic observability for the Athena reproduction
+//!
+//! A zero-ambient-nondeterminism tracing and metrics layer keyed to the
+//! *simulated* clock. Every timestamp a [`TraceRecord`] carries is a
+//! [`SimTime`](dde_logic::time::SimTime) read from the event loop — never a
+//! wall clock — so two runs of the same scenario and seed emit **byte
+//! identical** JSONL traces, and a trace diff is a replay-debugging tool
+//! rather than a fuzzy comparison.
+//!
+//! - [`event`] — the typed span/event taxonomy over the full query
+//!   lifecycle (query init → plan decision → request send → link transit →
+//!   cache hit/miss → annotate → label share → resolve/timeout);
+//! - [`sink`] — the [`Sink`] contract plus the stock implementations:
+//!   [`NullSink`] (compiled-in but free), [`MemorySink`], [`JsonlSink`],
+//!   [`ChromeTraceSink`], and the cloneable [`SharedSink`] handle;
+//! - [`json`] — the hand-rolled JSON subset (the workspace is offline:
+//!   no serde_json), with a deterministic writer and a strict parser;
+//! - [`hist`] — fixed-bucket latency histograms surfacing p50/p95/p99;
+//! - [`diff`] — structural trace diffing (first divergent event,
+//!   per-kind count deltas) behind the `dde-trace` CLI;
+//! - [`chrome`] — Chrome trace-event (`about:tracing` / Perfetto) export.
+
+#![warn(missing_docs)]
+// Determinism guardrails (see clippy.toml and dde-lint): hashed collections
+// and ambient clocks/env reads are disallowed in simulation library code.
+#![deny(clippy::disallowed_methods, clippy::disallowed_types)]
+
+pub mod chrome;
+pub mod diff;
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod sink;
+
+pub use chrome::{chrome_trace_from_jsonl, chrome_trace_from_records};
+pub use diff::{diff_jsonl, Divergence, TraceDiff};
+pub use event::{EventKind, TraceRecord};
+pub use hist::Histogram;
+pub use json::{JsonError, JsonValue};
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, SharedSink, Sink};

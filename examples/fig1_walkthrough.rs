@@ -14,6 +14,7 @@ use dde_logic::dnf::{Dnf, Term};
 use dde_logic::label::Label;
 use dde_logic::time::{SimDuration, SimTime};
 use dde_netsim::topology::{LinkSpec, NodeId, Topology};
+use dde_obs::{EventKind, MemorySink, SharedSink};
 use dde_workload::catalog::{Catalog, ObjectSpec};
 use dde_workload::grid::RoadGrid;
 use dde_workload::scenario::{QueryInstance, Scenario, ScenarioConfig};
@@ -63,11 +64,48 @@ fn build() -> Scenario {
     }
 }
 
-fn run(prefetch: bool) -> (RunReport, Vec<dde_netsim::TraceEvent>) {
+/// A transmission row of the walkthrough table, distilled from the
+/// [`EventKind::Transmit`] records the observability sink captured.
+struct Row {
+    at: SimTime,
+    from: NodeId,
+    to: NodeId,
+    kind: &'static str,
+    bytes: u64,
+    background: bool,
+}
+
+fn run(prefetch: bool) -> (RunReport, Vec<Row>) {
     let scenario = build();
     let mut options = RunOptions::new(Strategy::Lvf);
     options.prefetch = Some(prefetch);
-    run_scenario_traced(&scenario, options, 64)
+    let sink = SharedSink::new(MemorySink::new());
+    let handle = sink.clone();
+    let report = run_scenario_observed(&scenario, options, Box::new(sink));
+    let rows = handle.with(|mem| {
+        mem.events()
+            .iter()
+            .filter_map(|rec| match &rec.kind {
+                EventKind::Transmit {
+                    from,
+                    to,
+                    msg,
+                    bytes,
+                    background,
+                } => Some(Row {
+                    at: rec.at,
+                    from: NodeId(*from as usize),
+                    to: NodeId(*to as usize),
+                    kind: msg,
+                    bytes: *bytes,
+                    background: *background,
+                }),
+                _ => None,
+            })
+            .take(64)
+            .collect()
+    });
+    (report, rows)
 }
 
 fn node_name(n: NodeId) -> &'static str {
