@@ -20,6 +20,7 @@ fn city_names(n: usize, seed: u64) -> Vec<Name> {
                 format!("h{}", rng.gen_range(0..24)),
                 format!("cam{}", rng.gen_range(0..6)),
             ])
+            .expect("generated names are valid")
         })
         .collect()
 }

@@ -1,0 +1,105 @@
+//! Criterion micro-benches for the naming/retrieval hot paths measured by
+//! the `perf` binary (BENCH_perf.json): shared-prefix similarity, FIB
+//! longest-prefix match, content-store insert/evict, and end-to-end
+//! queries/sec. Run with `cargo bench -p dde-bench --bench perf`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dde_bench::run_point;
+use dde_core::strategy::Strategy;
+use dde_logic::time::{SimDuration, SimTime};
+use dde_naming::fib::Fib;
+use dde_naming::name::Name;
+use dde_naming::store::ContentStore;
+use dde_workload::scenario::ScenarioConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn universe(seed: u64, count: usize) -> Vec<Name> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let kinds = ["camera", "acoustic", "seismic", "chemical"];
+    let times = ["dawn", "noon", "dusk", "night"];
+    (0..count)
+        .map(|_| {
+            let region = rng.gen_range(0..8u32);
+            let district = rng.gen_range(0..16u32);
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let t = times[rng.gen_range(0..times.len())];
+            let id = rng.gen_range(0..64u32);
+            format!("/city/r{region}/d{district}/{t}/{kind}{id}")
+                .parse()
+                .expect("generated names are valid")
+        })
+        .collect()
+}
+
+fn bench_prefix_match(c: &mut Criterion) {
+    let names = universe(1, 1024);
+    c.bench_function("perf/prefix_match", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for pair in names.windows(2) {
+                acc += pair[0].shared_prefix_len(&pair[1]);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fib_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/fib_lookup");
+    for &size in &[1024usize, 8192] {
+        let names = universe(1, size);
+        let mut fib: Fib<u32> = Fib::new();
+        for (i, name) in names.iter().enumerate() {
+            let depth = 3 + (i % 2);
+            fib.advertise(&name.prefix(depth.min(name.len())), i as u32);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(size), &names, |b, names| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for name in names {
+                    if let Some(hop) = fib.lookup(name) {
+                        acc = acc.wrapping_add(hop as u64);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_insert_evict(c: &mut Criterion) {
+    let names = universe(1, 1024);
+    c.bench_function("perf/store_insert_evict", |b| {
+        b.iter(|| {
+            let mut cs: ContentStore<u32> = ContentStore::new(names.len() as u64 * 25);
+            for (i, name) in names.iter().enumerate() {
+                cs.insert(
+                    name,
+                    i as u32,
+                    100,
+                    SimTime::from_secs(i as u64),
+                    SimDuration::from_secs(30),
+                );
+            }
+            black_box(cs.evictions)
+        })
+    });
+}
+
+fn bench_e2e_queries(c: &mut Criterion) {
+    let base = ScenarioConfig::small();
+    c.bench_function("perf/e2e_queries_small", |b| {
+        b.iter(|| black_box(run_point(&base, 0.5, Strategy::LvfLabelShare, 7)).total_queries)
+    });
+}
+
+criterion_group!(
+    perf,
+    bench_prefix_match,
+    bench_fib_lookup,
+    bench_store_insert_evict,
+    bench_e2e_queries,
+);
+criterion_main!(perf);

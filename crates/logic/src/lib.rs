@@ -37,7 +37,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Determinism guardrails (see clippy.toml and dde-lint): hashed collections
 // and ambient clocks/env reads are disallowed in simulation library code.
 #![deny(clippy::disallowed_methods, clippy::disallowed_types)]

@@ -5,6 +5,8 @@
 //! semantics, so shared-prefix length proxies information similarity.
 //!
 //! - [`name`] — path-like content names with shared-prefix similarity;
+//! - [`symbol`] — deterministic, insertion-ordered interning of name
+//!   components, making hot-path comparisons integer-speed (§V-A);
 //! - [`tree`] — a name trie with exact, longest-prefix (FIB-style), and
 //!   approximate (closest-name) lookup — the "hierarchical semantic
 //!   indexing" of §V-A;
@@ -17,7 +19,7 @@
 //! - [`criticality`] — preferential treatment for critical name-space
 //!   regions (§V-C).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Determinism guardrails (see clippy.toml and dde-lint): hashed collections
 // and ambient clocks/env reads are disallowed in simulation library code.
 #![deny(clippy::disallowed_methods, clippy::disallowed_types)]
@@ -26,6 +28,7 @@ pub mod criticality;
 pub mod fib;
 pub mod name;
 pub mod store;
+pub mod symbol;
 pub mod tree;
 pub mod utility;
 
@@ -33,6 +36,7 @@ pub use criticality::{Criticality, CriticalityMap};
 pub use fib::{Fib, Interest, Pit};
 pub use name::{Name, NameError};
 pub use store::{ContentStore, StoredObject};
+pub use symbol::{Interner, Symbol};
 pub use tree::NameTree;
 pub use utility::{greedy_select, marginal_utility, total_utility, UtilityItem};
 

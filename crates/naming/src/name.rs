@@ -4,12 +4,28 @@
 //! of specific interest is to develop naming schemes where more similar
 //! objects have names that share longer prefixes." A [`Name`] is a sequence
 //! of path components, e.g. `/city/marketplace/south/noon/camera1`.
+//!
+//! Components are interned [`Symbol`]s (see [`crate::symbol`]), so the hot
+//! operations — component equality, [`Name::shared_prefix_len`],
+//! [`Name::starts_with`], trie descent — are integer compares; strings are
+//! resolved back out only at I/O boundaries ([`Name::fmt`][core::fmt::Display],
+//! [`Symbol::as_str`], error messages).
 
+use crate::symbol::{intern, Symbol};
+use core::cmp::Ordering;
 use core::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
 /// A hierarchical content name.
+///
+/// Ordering is **lexicographic over resolved component strings** — exactly
+/// the order the pre-interning `Arc<[String]>` representation had — so
+/// every `BTreeMap<Name, _>` iterates, and every deterministic tie-break
+/// resolves, byte-identically to earlier releases. Comparison still runs at
+/// integer speed on shared prefixes: equal symbols short-circuit without
+/// touching the interner, and only the first *differing* component pair is
+/// resolved.
 ///
 /// # Examples
 ///
@@ -22,9 +38,18 @@ use std::sync::Arc;
 /// assert!(a.starts_with(&"/city/marketplace".parse()?));
 /// # Ok::<(), dde_naming::name::NameError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Name {
-    components: Arc<[String]>,
+    components: Arc<[Symbol]>,
+}
+
+fn validate(component: &str) -> Result<(), NameError> {
+    if component.is_empty() || component.contains('/') {
+        return Err(NameError {
+            message: format!("invalid name component: {component:?}"),
+        });
+    }
+    Ok(())
 }
 
 impl Name {
@@ -35,29 +60,43 @@ impl Name {
 
     /// Builds a name from components.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any component is empty or contains `/`.
-    pub fn from_components<I, S>(components: I) -> Name
+    /// Returns [`NameError`] if any component is empty or contains `/`.
+    ///
+    /// ```
+    /// use dde_naming::name::Name;
+    ///
+    /// let name = Name::from_components(["city", "cam1"])?;
+    /// assert_eq!(name.to_string(), "/city/cam1");
+    /// assert!(Name::from_components(["bad/slash"]).is_err());
+    /// # Ok::<(), dde_naming::name::NameError>(())
+    /// ```
+    pub fn from_components<I, S>(components: I) -> Result<Name, NameError>
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: AsRef<str>,
     {
-        let components: Vec<String> = components.into_iter().map(Into::into).collect();
-        for c in &components {
-            assert!(
-                !c.is_empty() && !c.contains('/'),
-                "invalid name component: {c:?}"
-            );
+        let mut symbols = Vec::new();
+        for c in components {
+            let c = c.as_ref();
+            validate(c)?;
+            symbols.push(intern(c));
         }
-        Name {
-            components: components.into(),
-        }
+        Ok(Name {
+            components: symbols.into(),
+        })
     }
 
-    /// The components, in order.
-    pub fn components(&self) -> &[String] {
+    /// The interned components, in order.
+    pub fn components(&self) -> &[Symbol] {
         &self.components
+    }
+
+    /// The component strings, in order, resolved through the interner —
+    /// an I/O-boundary convenience; hot paths should compare [`Symbol`]s.
+    pub fn component_strs(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.components.iter().map(|s| s.as_str())
     }
 
     /// Number of components.
@@ -72,7 +111,8 @@ impl Name {
 
     /// Number of leading components shared with `other` — the paper's
     /// similarity measure: "distances between them, such as the length of
-    /// the shared name prefix".
+    /// the shared name prefix". Integer compares only; the interner is
+    /// never consulted.
     pub fn shared_prefix_len(&self, other: &Name) -> usize {
         self.components
             .iter()
@@ -100,17 +140,28 @@ impl Name {
 
     /// The name extended by one component.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `component` is empty or contains `/`.
-    #[must_use]
-    pub fn child(&self, component: impl Into<String>) -> Name {
-        let component = component.into();
-        assert!(
-            !component.is_empty() && !component.contains('/'),
-            "invalid name component: {component:?}"
-        );
-        let mut v: Vec<String> = self.components.to_vec();
+    /// Returns [`NameError`] if `component` is empty or contains `/`.
+    ///
+    /// ```
+    /// use dde_naming::name::Name;
+    ///
+    /// let base: Name = "/city".parse()?;
+    /// assert_eq!(base.child("cam1")?.to_string(), "/city/cam1");
+    /// assert!(base.child("a/b").is_err());
+    /// # Ok::<(), dde_naming::name::NameError>(())
+    /// ```
+    pub fn child(&self, component: impl AsRef<str>) -> Result<Name, NameError> {
+        let component = component.as_ref();
+        validate(component)?;
+        Ok(self.child_symbol(intern(component)))
+    }
+
+    /// The name extended by one already-interned component — infallible,
+    /// for trie traversal that rebuilds names from stored symbols.
+    pub(crate) fn child_symbol(&self, component: Symbol) -> Name {
+        let mut v: Vec<Symbol> = self.components.to_vec();
         v.push(component);
         Name {
             components: v.into(),
@@ -141,19 +192,42 @@ impl Name {
     }
 }
 
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Lexicographic over resolved component strings (see the type-level
+    /// docs). Symbol-equal components short-circuit as an integer compare;
+    /// only the first differing pair resolves through the interner.
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.components.iter().zip(other.components.iter()) {
+            if a == b {
+                continue;
+            }
+            // The interner is injective, so differing symbols resolve to
+            // differing strings and this never returns `Equal` here.
+            return crate::symbol::cmp_resolved(*a, *b);
+        }
+        self.components.len().cmp(&other.components.len())
+    }
+}
+
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.components.is_empty() {
             return write!(f, "/");
         }
         for c in self.components.iter() {
-            write!(f, "/{c}")?;
+            write!(f, "/{}", c.as_str())?;
         }
         Ok(())
     }
 }
 
-/// Error from parsing a [`Name`] from text.
+/// Error from parsing or building a [`Name`] from text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NameError {
     /// Human-readable description.
@@ -172,7 +246,7 @@ impl FromStr for Name {
     type Err = NameError;
 
     /// Parses `/a/b/c` (leading slash required; `/` alone is the root;
-    /// trailing slash tolerated).
+    /// trailing slash tolerated). Each component is interned on the way in.
     fn from_str(s: &str) -> Result<Name, NameError> {
         let Some(rest) = s.strip_prefix('/') else {
             return Err(NameError {
@@ -183,14 +257,17 @@ impl FromStr for Name {
         if rest.is_empty() {
             return Ok(Name::root());
         }
-        let components: Vec<String> = rest.split('/').map(str::to_string).collect();
-        if components.iter().any(String::is_empty) {
-            return Err(NameError {
-                message: format!("empty component in {s:?}"),
-            });
+        let mut symbols = Vec::new();
+        for c in rest.split('/') {
+            if c.is_empty() {
+                return Err(NameError {
+                    message: format!("empty component in {s:?}"),
+                });
+            }
+            symbols.push(intern(c));
         }
         Ok(Name {
-            components: components.into(),
+            components: symbols.into(),
         })
     }
 }
@@ -261,7 +338,7 @@ mod tests {
     #[test]
     fn child_and_parent() {
         let base = n("/city");
-        let cam = base.child("cam1");
+        let cam = base.child("cam1").unwrap();
         assert_eq!(cam, n("/city/cam1"));
         assert_eq!(cam.parent().unwrap(), base);
         assert_eq!(base.parent().unwrap(), Name::root());
@@ -269,16 +346,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid name component")]
-    fn child_rejects_slash() {
-        let _ = Name::root().child("a/b");
+    fn child_rejects_invalid_components() {
+        assert!(Name::root().child("a/b").is_err());
+        assert!(Name::root().child("").is_err());
+        let e = Name::root().child("a/b").unwrap_err();
+        assert!(e.to_string().contains("invalid name component"));
     }
 
     #[test]
     fn from_components() {
-        let name = Name::from_components(["a", "b"]);
+        let name = Name::from_components(["a", "b"]).unwrap();
         assert_eq!(name, n("/a/b"));
-        assert_eq!(name.components(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(name.component_strs().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(name.components().len(), 2);
+        assert!(Name::from_components(["ok", "bad/slash"]).is_err());
+        assert!(Name::from_components(["", "b"]).is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_not_id_order() {
+        // Intern in anti-lexicographic order: the later-interned string
+        // must still sort first, because Name order resolves strings.
+        let z = n("/ord-test-zz/x");
+        let a = n("/ord-test-aa/x");
+        assert!(a < z, "lexicographic order must be independent of id order");
+        let mut v = vec![z.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+        // Prefix sorts before its extensions.
+        assert!(n("/a") < n("/a/b"));
+        assert!(Name::root() < n("/a"));
     }
 
     proptest! {
@@ -288,8 +385,8 @@ mod tests {
             a in prop::collection::vec("[a-c]{1,2}", 0..5),
             b in prop::collection::vec("[a-c]{1,2}", 0..5),
         ) {
-            let na = Name::from_components(a);
-            let nb = Name::from_components(b);
+            let na = Name::from_components(a).unwrap();
+            let nb = Name::from_components(b).unwrap();
             prop_assert!((na.similarity(&nb) - nb.similarity(&na)).abs() < 1e-12);
             prop_assert!((0.0..=1.0).contains(&na.similarity(&nb)));
         }
@@ -297,8 +394,35 @@ mod tests {
         /// Parsing the display form is the identity.
         #[test]
         fn display_parse_identity(a in prop::collection::vec("[a-z0-9_.-]{1,6}", 0..6)) {
-            let name = Name::from_components(a);
+            let name = Name::from_components(a).unwrap();
             prop_assert_eq!(name.to_string().parse::<Name>().unwrap(), name);
+        }
+
+        /// parse → intern → as_str round-trips: every component symbol
+        /// resolves to exactly the substring it was parsed from, and the
+        /// display form reproduces the input byte-for-byte.
+        #[test]
+        fn parse_intern_as_str_round_trip(
+            comps in prop::collection::vec("[a-zA-Z0-9_.-]{1,12}", 1..6),
+        ) {
+            let text = format!("/{}", comps.join("/"));
+            let name: Name = text.parse().unwrap();
+            prop_assert_eq!(name.to_string(), text);
+            let resolved: Vec<&str> = name.component_strs().collect();
+            prop_assert_eq!(resolved, comps.iter().map(String::as_str).collect::<Vec<_>>());
+        }
+
+        /// Name order equals lexicographic order over component strings —
+        /// the pre-interning representation's order, which keeps every
+        /// BTreeMap<Name, _> iteration byte-compatible.
+        #[test]
+        fn order_matches_string_order(
+            a in prop::collection::vec("[a-d]{1,3}", 0..5),
+            b in prop::collection::vec("[a-d]{1,3}", 0..5),
+        ) {
+            let na = Name::from_components(a.clone()).unwrap();
+            let nb = Name::from_components(b.clone()).unwrap();
+            prop_assert_eq!(na.cmp(&nb), a.cmp(&b));
         }
 
         /// shared_prefix_len is a valid ultrametric-ish similarity:
@@ -310,9 +434,9 @@ mod tests {
             c in prop::collection::vec("[ab]{1}", 0..5),
         ) {
             let (na, nb, nc) = (
-                Name::from_components(a),
-                Name::from_components(b),
-                Name::from_components(c),
+                Name::from_components(a).unwrap(),
+                Name::from_components(b).unwrap(),
+                Name::from_components(c).unwrap(),
             );
             let ab = na.shared_prefix_len(&nb);
             let bc = nb.shared_prefix_len(&nc);

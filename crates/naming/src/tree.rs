@@ -7,9 +7,18 @@
 //! prefix with the request.
 
 use crate::name::Name;
+use crate::symbol::Symbol;
 use std::collections::BTreeMap;
 
 /// A trie mapping [`Name`]s to values.
+///
+/// Children are keyed by interned [`Symbol`] — descent (insert, exact get,
+/// longest-prefix match) is pure integer comparison, never touching
+/// component strings. Symbol order is interning order, not lexicographic
+/// order, so the ordered surfaces ([`NameTree::iter`],
+/// [`NameTree::iter_prefix`], [`NameTree::closest`]) re-establish *name*
+/// order explicitly before returning; nothing user-visible depends on id
+/// assignment.
 #[derive(Debug, Clone)]
 pub struct NameTree<T> {
     root: TrieNode<T>,
@@ -19,7 +28,7 @@ pub struct NameTree<T> {
 #[derive(Debug, Clone)]
 struct TrieNode<T> {
     value: Option<T>,
-    children: BTreeMap<String, TrieNode<T>>,
+    children: BTreeMap<Symbol, TrieNode<T>>,
 }
 
 impl<T> Default for TrieNode<T> {
@@ -60,7 +69,7 @@ impl<T> NameTree<T> {
     pub fn insert(&mut self, name: &Name, value: T) -> Option<T> {
         let mut node = &mut self.root;
         for c in name.components() {
-            node = node.children.entry(c.clone()).or_default();
+            node = node.children.entry(*c).or_default();
         }
         let prev = node.value.replace(value);
         if prev.is_none() {
@@ -71,7 +80,7 @@ impl<T> NameTree<T> {
 
     /// Removes and returns the value at exactly `name`.
     pub fn remove(&mut self, name: &Name) -> Option<T> {
-        fn go<T>(node: &mut TrieNode<T>, comps: &[String]) -> (Option<T>, bool) {
+        fn go<T>(node: &mut TrieNode<T>, comps: &[Symbol]) -> (Option<T>, bool) {
             match comps.split_first() {
                 None => {
                     let v = node.value.take();
@@ -148,6 +157,9 @@ impl<T> NameTree<T> {
         }
         let mut out: Vec<(Name, &T)> = Vec::new();
         collect(node, prefix.clone(), &mut out);
+        // Children are stored in symbol-id order; the promised iteration
+        // order is *name* order, so sort before handing out.
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
         Box::new(out.into_iter())
     }
 
@@ -191,7 +203,9 @@ impl<T> NameTree<T> {
             // path were already considered at larger d.
             let mut out: Vec<(Name, &T)> = Vec::new();
             collect(candidate_root, name.prefix(d), &mut out);
-            if let Some((stored, v)) = out.into_iter().next() {
+            // `collect` visits children in symbol-id order; the documented
+            // tie-break is name-order-first, so take the minimum by name.
+            if let Some((stored, v)) = out.into_iter().min_by(|(a, _), (b, _)| a.cmp(b)) {
                 let shared = stored.shared_prefix_len(name);
                 return Some((stored, shared, v));
             }
@@ -205,7 +219,7 @@ fn collect<'a, T>(node: &'a TrieNode<T>, name: Name, out: &mut Vec<(Name, &'a T)
         out.push((name.clone(), v));
     }
     for (comp, child) in &node.children {
-        collect(child, name.child(comp.clone()), out);
+        collect(child, name.child_symbol(*comp), out);
     }
 }
 
@@ -340,9 +354,9 @@ mod tests {
             probe in prop::collection::vec("[ab]{1}", 1..5),
         ) {
             let tree: NameTree<usize> = entries.iter().enumerate()
-                .map(|(i, comps)| (Name::from_components(comps.clone()), i))
+                .map(|(i, comps)| (Name::from_components(comps.clone()).unwrap(), i))
                 .collect();
-            let probe = Name::from_components(probe);
+            let probe = Name::from_components(probe).unwrap();
             let (stored, shared, _) = tree.closest(&probe, 0).unwrap();
             prop_assert_eq!(stored.shared_prefix_len(&probe), shared);
             for (name, _) in tree.iter() {
@@ -359,12 +373,12 @@ mod tests {
         ) {
             let mut t = NameTree::new();
             for (i, comps) in names.iter().enumerate() {
-                t.insert(&Name::from_components(comps.clone()), i);
+                t.insert(&Name::from_components(comps.clone()).unwrap(), i);
             }
             prop_assert_eq!(t.len(), t.iter().count());
             // Remove half.
             for comps in names.iter().step_by(2) {
-                t.remove(&Name::from_components(comps.clone()));
+                t.remove(&Name::from_components(comps.clone()).unwrap());
             }
             prop_assert_eq!(t.len(), t.iter().count());
         }

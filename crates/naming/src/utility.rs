@@ -196,7 +196,9 @@ mod tests {
         .prop_map(|specs| {
             specs
                 .into_iter()
-                .map(|(comps, u, c)| UtilityItem::new(Name::from_components(comps), u, c))
+                .map(|(comps, u, c)| {
+                    UtilityItem::new(Name::from_components(comps).expect("valid"), u, c)
+                })
                 .collect()
         })
     }

@@ -132,8 +132,8 @@ impl FaultSchedule {
     ///
     /// One crash/recover cycle per churned node keeps the schedule easy to
     /// reason about while still exercising every recovery path; call the
-    /// generator multiple times with different seeds and [`merge`]
-    /// (`FaultSchedule::merge`) the results for denser churn.
+    /// generator multiple times with different seeds and
+    /// [`merge`](FaultSchedule::merge) the results for denser churn.
     ///
     /// # Panics
     ///

@@ -46,6 +46,15 @@ impl JsonValue {
         }
     }
 
+    /// This value as a float; integer values are widened.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(f) => Some(*f),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
     /// This value as a string slice, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {

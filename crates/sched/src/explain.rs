@@ -2,7 +2,7 @@
 //!
 //! The decision-driven paradigm's pitch is that the *network* understands
 //! why data is needed; `explain` makes that visible: it renders an
-//! [`EvalPlan`](crate::tree::EvalPlan) or [`DnfPlan`](crate::shortcircuit::DnfPlan)
+//! [`EvalPlan`] or [`DnfPlan`]
 //! as an indented tree annotated with each step's truth probability,
 //! expected cost, and short-circuit ratio — the quantities §III-A reasons
 //! about.
