@@ -11,9 +11,9 @@
 // The bench harness runs outside the replayed simulation: it reads env
 // knobs and may time wall-clock (see clippy.toml).
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
-use dde_core::engine::{run_scenario, RunOptions, RunReport};
+use dde_core::engine::{run_scenario_observed, RunOptions, RunReport};
 use dde_core::strategy::Strategy;
-use dde_obs::{Histogram, JsonValue};
+use dde_obs::{Histogram, JsonValue, NullSink, PathBreakdown};
 use dde_workload::scenario::{Scenario, ScenarioConfig};
 
 /// Shared command-line-ish knobs for the figure binaries, read from
@@ -87,7 +87,9 @@ pub fn stat(samples: &[f64]) -> Stat {
 }
 
 /// Runs `strategy` on the scenario derived from `base` with `fast_ratio`
-/// and `seed`, returning the report.
+/// and `seed`, returning the report. Runs observed (with a null trace
+/// sink) so the report carries the per-decision cost ledger; the trace
+/// sink changes no simulation outcome, only the bookkeeping.
 pub fn run_point(
     base: &ScenarioConfig,
     fast_ratio: f64,
@@ -98,7 +100,12 @@ pub fn run_point(
     let scenario = Scenario::build(cfg);
     let mut options = RunOptions::new(strategy);
     options.seed = seed ^ 0x5eed;
-    run_scenario(&scenario, options)
+    let report = run_scenario_observed(&scenario, options, Box::new(NullSink));
+    debug_assert!(
+        report.ledger.as_ref().is_none_or(|l| l.conserves()),
+        "ledger conservation violated"
+    );
+    report
 }
 
 /// One figure row: per-strategy statistics at one x-value.
@@ -233,10 +240,17 @@ fn stat_json(st: Stat) -> JsonValue {
 }
 
 /// One scheme's summary at one x-value: headline metrics plus latency
-/// percentiles from the reps' merged fixed-bucket histograms.
+/// percentiles from the reps' merged fixed-bucket histograms, plus the
+/// cost-ledger attribution (mean bytes per decision, predicted expected
+/// bytes, and the critical-path segment split over resolved queries).
 fn scheme_json(reports: &[RunReport]) -> JsonValue {
     let metric = |f: fn(&RunReport) -> f64| {
         let samples: Vec<f64> = reports.iter().map(f).collect();
+        stat_json(stat(&samples))
+    };
+    // Ledger-derived samples: one value per rep that produced one.
+    let ledger_stat = |f: &dyn Fn(&RunReport) -> Option<f64>| {
+        let samples: Vec<f64> = reports.iter().filter_map(f).collect();
         stat_json(stat(&samples))
     };
     let mut hist = Histogram::new();
@@ -247,6 +261,17 @@ fn scheme_json(reports: &[RunReport]) -> JsonValue {
         Some(d) => JsonValue::Int(d.as_micros() as i64),
         None => JsonValue::Null,
     };
+    // Critical-path fractions, averaged over reps whose ledgers saw at
+    // least one resolved query.
+    let fractions: Vec<[f64; 4]> = reports
+        .iter()
+        .filter_map(|r| r.ledger.as_ref())
+        .filter_map(|l| l.path_total().fractions())
+        .collect();
+    let path_stat = |i: usize| {
+        let samples: Vec<f64> = fractions.iter().map(|f| f[i]).collect();
+        stat_json(stat(&samples))
+    };
     JsonValue::Object(vec![
         (
             "resolution_ratio".into(),
@@ -254,6 +279,29 @@ fn scheme_json(reports: &[RunReport]) -> JsonValue {
         ),
         ("accuracy".into(), metric(RunReport::accuracy)),
         ("megabytes".into(), metric(RunReport::total_megabytes)),
+        (
+            "cost_per_decision".into(),
+            ledger_stat(&|r: &RunReport| r.cost_per_decision()),
+        ),
+        (
+            "predicted_bytes_per_decision".into(),
+            ledger_stat(&|r: &RunReport| {
+                r.ledger
+                    .as_ref()
+                    .and_then(|l| l.predicted_vs_actual())
+                    .map(|(predicted, _)| predicted)
+            }),
+        ),
+        (
+            "critical_path_breakdown".into(),
+            JsonValue::Object(
+                PathBreakdown::SEGMENT_NAMES
+                    .iter()
+                    .enumerate()
+                    .map(|(i, name)| ((*name).to_string(), path_stat(i)))
+                    .collect(),
+            ),
+        ),
         (
             "latency_us".into(),
             JsonValue::Object(vec![

@@ -13,7 +13,7 @@ use crate::strategy::Strategy;
 use dde_logic::time::{SimDuration, SimTime};
 use dde_netsim::fault::FaultSchedule;
 use dde_netsim::sim::Simulator;
-use dde_obs::{EventKind, Histogram, MemorySink, SharedSink, Sink};
+use dde_obs::{CostLedger, Histogram, LedgerSink, SharedSink, Sink, TeeSink};
 use dde_workload::scenario::Scenario;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -156,6 +156,11 @@ pub struct RunReport {
     pub node_stats: Vec<crate::node::NodeStats>,
     /// One record per query, in (origin, id) order.
     pub queries: Vec<QueryRecord>,
+    /// Per-decision resource attribution, folded live from the trace
+    /// stream. `Some` only for observed runs
+    /// ([`run_scenario_observed`]) — the unobserved paths skip ledger
+    /// bookkeeping entirely so their hot path stays free of it.
+    pub ledger: Option<CostLedger>,
 }
 
 impl RunReport {
@@ -195,6 +200,12 @@ impl RunReport {
     pub fn latency_p99(&self) -> Option<SimDuration> {
         self.latency_hist.p99()
     }
+
+    /// Mean attributed bytes per resolved decision, from the run's cost
+    /// ledger. `None` when the run was not observed or nothing resolved.
+    pub fn cost_per_decision(&self) -> Option<f64> {
+        self.ledger.as_ref().and_then(|l| l.cost_per_decision())
+    }
 }
 
 /// Runs `scenario` under `options` with ground-truth annotators.
@@ -217,49 +228,6 @@ pub fn run_scenario_observed(
         Arc::new(GroundTruthAnnotator),
         Some(sink),
     )
-}
-
-/// Runs `scenario` and additionally returns the first `trace_cap` link
-/// transmissions — the message-flow record behind the Fig. 1 walkthrough.
-#[deprecated(
-    since = "0.1.0",
-    note = "use run_scenario_observed with a dde-obs sink; transmissions are EventKind::Transmit records"
-)]
-pub fn run_scenario_traced(
-    scenario: &Scenario,
-    options: RunOptions,
-    trace_cap: usize,
-) -> (RunReport, Vec<dde_netsim::TraceEvent>) {
-    let shared = SharedSink::new(MemorySink::new());
-    let report = run_scenario_inner(
-        scenario,
-        options,
-        Arc::new(GroundTruthAnnotator),
-        Some(Box::new(shared.clone())),
-    );
-    let trace = shared
-        .with(|s| s.take())
-        .into_iter()
-        .filter_map(|rec| match rec.kind {
-            EventKind::Transmit {
-                from,
-                to,
-                msg,
-                bytes,
-                background,
-            } => Some(dde_netsim::TraceEvent {
-                at: rec.at,
-                from: dde_netsim::NodeId(from as usize),
-                to: dde_netsim::NodeId(to as usize),
-                kind: msg,
-                bytes,
-                background,
-            }),
-            _ => None,
-        })
-        .take(trace_cap)
-        .collect();
-    (report, trace)
 }
 
 /// Runs `scenario` with a custom annotator (noise/reliability ablations).
@@ -300,9 +268,14 @@ fn run_scenario_inner(
         .collect();
     let mut sim = Simulator::new(scenario.topology.clone(), nodes, options.seed);
     sim.set_medium(options.medium);
-    if let Some(sink) = sink {
-        sim.set_sink(sink);
-    }
+    // Observed runs tee the event stream into a live cost ledger alongside
+    // the caller's sink, so every observed run gets per-decision
+    // attribution for free; unobserved runs skip the machinery entirely.
+    let ledger_handle = sink.map(|user| {
+        let shared = SharedSink::new(LedgerSink::new());
+        sim.set_sink(Box::new(TeeSink::new(user, Box::new(shared.clone()))));
+        shared
+    });
 
     // Faults: whatever the scenario schedules (churn config) plus whatever
     // the caller adds on top (partitions, targeted crashes). Installing an
@@ -330,7 +303,9 @@ fn run_scenario_inner(
     // streaming sinks have written the complete trace before the report is
     // in hand; a flush failure must not invalidate the run itself.
     let _ = sim.sink_mut().flush();
-    collect_report(&sim, scenario, options.strategy, faults.len())
+    let mut report = collect_report(&sim, scenario, options.strategy, faults.len());
+    report.ledger = ledger_handle.map(|h| h.with(|l| l.take_ledger()));
+    report
 }
 
 fn collect_report(
@@ -364,6 +339,7 @@ fn collect_report(
         latency_hist: Histogram::new(),
         node_stats: sim.nodes().map(|n| n.stats).collect(),
         queries: Vec::with_capacity(scenario.queries.len()),
+        ledger: None,
     };
 
     let mut latency_sum = SimDuration::ZERO;

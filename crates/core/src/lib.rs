@@ -46,8 +46,6 @@ pub use annotate::{
     Annotator, BiasedSourcesAnnotator, GroundTruthAnnotator, LyingAnnotator, NoisyAnnotator,
     TrustPolicy,
 };
-#[allow(deprecated)]
-pub use engine::run_scenario_traced;
 pub use engine::{
     run_all_strategies, run_scenario, run_scenario_observed, run_scenario_with_annotator,
     QueryRecord, RunOptions, RunReport,
@@ -61,8 +59,6 @@ pub use strategy::Strategy;
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::annotate::{Annotator, GroundTruthAnnotator, TrustPolicy};
-    #[allow(deprecated)]
-    pub use crate::engine::run_scenario_traced;
     pub use crate::engine::{
         run_all_strategies, run_scenario, run_scenario_observed, run_scenario_with_annotator,
         RunOptions, RunReport,

@@ -78,6 +78,11 @@ pub enum AthenaMsg {
         /// For prefetch pushes: the query origin the object is being staged
         /// toward. `None` for ordinary request-driven replies.
         push_to: Option<NodeId>,
+        /// The decision query this object is traveling for, when the
+        /// sender knows it (the PIT interest or prefetch task it serves).
+        /// Observational only: excluded from [`WireMessage::wire_size`],
+        /// so carrying it changes no simulation outcome.
+        for_query: Option<QueryId>,
     },
     /// A shared annotated label (§VI-D).
     LabelShare {
@@ -93,6 +98,9 @@ pub enum AthenaMsg {
         annotator: NodeId,
         /// The object the judgment was based on.
         based_on: Name,
+        /// The decision query whose annotation produced this share, when
+        /// known. Observational only, like [`AthenaMsg::Data::for_query`].
+        for_query: Option<QueryId>,
     },
 }
 
@@ -142,6 +150,26 @@ impl WireMessage for AthenaMsg {
             }
         )
     }
+
+    /// The decision query each message serves, for the `dde-obs` cost
+    /// ledger. Synthetic re-forwarded requests (qid `u64::MAX`, see
+    /// `node::reforward_request`) have no owning decision and land in the
+    /// ledger's overhead bucket.
+    fn attribution(&self) -> Option<u64> {
+        match self {
+            AthenaMsg::QueryAnnounce { qid, .. } => Some(qid.0),
+            AthenaMsg::Request { qid, .. } => {
+                if qid.0 == u64::MAX {
+                    None
+                } else {
+                    Some(qid.0)
+                }
+            }
+            AthenaMsg::Data { for_query, .. } | AthenaMsg::LabelShare { for_query, .. } => {
+                for_query.map(|q| q.0)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +193,7 @@ mod tests {
         let m = AthenaMsg::Data {
             object: obj(500_000),
             push_to: None,
+            for_query: None,
         };
         assert!(m.wire_size() >= 500_000);
         assert!(m.wire_size() < 500_000 + 1_000);
@@ -172,10 +201,52 @@ mod tests {
     }
 
     #[test]
+    fn attribution_follows_the_causing_query() {
+        let announce = AthenaMsg::QueryAnnounce {
+            qid: QueryId(9),
+            origin: NodeId(0),
+            expr: Dnf::from_terms(vec![Term::all_of(["a"])]),
+            deadline_at: SimTime::from_secs(60),
+        };
+        assert_eq!(announce.attribution(), Some(9));
+        let data = AthenaMsg::Data {
+            object: obj(100),
+            push_to: None,
+            for_query: Some(QueryId(4)),
+        };
+        assert_eq!(data.attribution(), Some(4));
+        // A synthetic re-forwarded request has no owning decision.
+        let reforward = AthenaMsg::Request {
+            name: "/city/cam/n1/x".parse().unwrap(),
+            wanted: vec![],
+            qid: QueryId(u64::MAX),
+            origin: NodeId(0),
+            kind: RequestKind::Fetch,
+        };
+        assert_eq!(reforward.attribution(), None);
+    }
+
+    #[test]
+    fn attribution_does_not_change_wire_size() {
+        let without = AthenaMsg::Data {
+            object: obj(500_000),
+            push_to: None,
+            for_query: None,
+        };
+        let with = AthenaMsg::Data {
+            object: obj(500_000),
+            push_to: None,
+            for_query: Some(QueryId(1)),
+        };
+        assert_eq!(without.wire_size(), with.wire_size());
+    }
+
+    #[test]
     fn label_share_orders_of_magnitude_smaller_than_data() {
         let data = AthenaMsg::Data {
             object: obj(500_000),
             push_to: Some(NodeId(2)),
+            for_query: None,
         };
         let label = AthenaMsg::LabelShare {
             label: Label::new("a"),
@@ -184,6 +255,7 @@ mod tests {
             validity: SimDuration::from_secs(10),
             annotator: NodeId(0),
             based_on: "/city/cam/n1/x".parse().unwrap(),
+            for_query: None,
         };
         assert!(data.wire_size() / label.wire_size() > 100);
         assert_eq!(label.kind(), "label");

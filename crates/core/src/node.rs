@@ -30,7 +30,7 @@ use dde_naming::store::ContentStore;
 use dde_netsim::sim::{Context, Protocol};
 use dde_netsim::topology::NodeId;
 use dde_obs::EventKind;
-use dde_sched::explain::explain_dnf_plan;
+use dde_sched::explain::{explain_dnf_plan, summarize_dnf_plan};
 use dde_sched::item::Channel;
 use dde_sched::shortcircuit::plan_dnf;
 use dde_workload::catalog::Catalog;
@@ -217,7 +217,21 @@ impl From<QueryInstance> for AthenaEvent {
 struct PushTask {
     object_idx: usize,
     origin: NodeId,
+    qid: QueryId,
     deadline_at: SimTime,
+}
+
+/// The ledger attribution of a request's query id: synthetic re-forwarded
+/// requests (`u64::MAX`, see [`AthenaNode::reforward_request`]) have no
+/// owning decision.
+fn qid_attr(qid: QueryId) -> Option<u64> {
+    (qid.0 != u64::MAX).then_some(qid.0)
+}
+
+/// Same attribution as the observational `for_query` tag carried on reply
+/// messages.
+fn qid_tag(qid: QueryId) -> Option<QueryId> {
+    (qid.0 != u64::MAX).then_some(qid)
 }
 
 /// One Athena node.
@@ -339,9 +353,16 @@ impl AthenaNode {
     /// Renders the decision-driven ordering rationale for a query's
     /// expression via `dde-sched`'s short-circuit planner: per-label
     /// retrieval cost (cheapest provider from here), the configured truth
-    /// prior, and the most conservative provider validity. Only called when
-    /// the trace sink is enabled — this allocates freely.
-    fn plan_rationale(&self, expr: &dde_logic::dnf::Dnf, ctx: &Context<'_, AthenaMsg>) -> String {
+    /// prior, and the most conservative provider validity. Returns the
+    /// rendered rationale plus the plan's predicted expected retrieval cost
+    /// in bytes (§III-A), so the cost ledger can report predicted vs
+    /// actual. Only called when the trace sink is enabled — this allocates
+    /// freely.
+    fn plan_rationale(
+        &self,
+        expr: &dde_logic::dnf::Dnf,
+        ctx: &Context<'_, AthenaMsg>,
+    ) -> (String, u64) {
         let me = ctx.node();
         let topology = ctx.topology();
         let prior = self.shared.config.prob_true_prior;
@@ -365,7 +386,24 @@ impl AthenaNode {
                 (l, meta)
             })
             .collect();
-        explain_dnf_plan(&plan_dnf(expr, &meta))
+        let plan = plan_dnf(expr, &meta);
+        let predicted = summarize_dnf_plan(&plan).expected_bytes_rounded();
+        (explain_dnf_plan(&plan), predicted)
+    }
+
+    /// The first (OR-term, condition) coordinates of `label` in `qid`'s
+    /// expression, for trace attribution. `(None, None)` when the query is
+    /// not local or the label does not appear.
+    fn locate_predicate(&self, qid: QueryId, label: &Label) -> (Option<u32>, Option<u32>) {
+        let Some(q) = self.queries.get(&qid) else {
+            return (None, None);
+        };
+        for (ti, term) in q.expr.terms().iter().enumerate() {
+            if let Some(ci) = term.literals().position(|lit| lit.label() == label) {
+                return (Some(ti as u32), Some(ci as u32));
+            }
+        }
+        (None, None)
     }
 
     /// Emits a terminal trace event (`query-resolved` / `query-missed`) for
@@ -562,10 +600,13 @@ impl AthenaNode {
     ) {
         let me = ctx.node();
         if ctx.obs_enabled() {
+            let (term, cond) = self.locate_predicate(qid, label);
             ctx.emit(EventKind::Annotate {
                 query: qid.0,
                 label: label.to_string(),
                 value,
+                term,
+                cond,
             });
         }
         self.labels.insert(
@@ -600,6 +641,7 @@ impl AthenaNode {
                                 label: label.to_string(),
                                 value,
                                 toward: hop.index() as u32,
+                                query: Some(qid.0),
                             });
                         }
                         ctx.send(
@@ -611,6 +653,7 @@ impl AthenaNode {
                                 validity,
                                 annotator: me,
                                 based_on: based_on.clone(),
+                                for_query: Some(qid),
                             },
                         );
                     }
@@ -800,6 +843,13 @@ impl AthenaNode {
                     if ctx.obs_enabled() {
                         ctx.emit(EventKind::LocalSample {
                             name: object.name.to_string(),
+                            query: Some(qid.0),
+                        });
+                        ctx.emit(EventKind::CacheStore {
+                            name: object.name.to_string(),
+                            bytes: object.size,
+                            validity_us: object.validity.as_micros(),
+                            query: Some(qid.0),
                         });
                     }
                     let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
@@ -845,10 +895,13 @@ impl AthenaNode {
                 q.counters.requests_sent += 1;
                 if first {
                     if ctx.obs_enabled() {
+                        let (term, cond) = self.locate_predicate(qid, &label);
                         ctx.emit(EventKind::RequestSend {
                             query: qid.0,
                             name: spec.name.to_string(),
                             hop: hop.index() as u32,
+                            term,
+                            cond,
                         });
                     }
                     ctx.send(
@@ -978,6 +1031,7 @@ impl AthenaNode {
                     ctx.emit(EventKind::LabelHit {
                         requester: from.index() as u32,
                         labels: usable.len() as u64,
+                        query: qid_attr(qid),
                     });
                 }
                 for l in &usable {
@@ -991,6 +1045,7 @@ impl AthenaNode {
                             validity: c.validity,
                             annotator: c.annotator,
                             based_on: c.based_on,
+                            for_query: qid_tag(qid),
                         },
                     );
                 }
@@ -1010,6 +1065,7 @@ impl AthenaNode {
                     ctx.emit(EventKind::CacheHit {
                         name: name.to_string(),
                         requester: from.index() as u32,
+                        query: qid_attr(qid),
                     });
                 }
                 ctx.send(
@@ -1017,6 +1073,7 @@ impl AthenaNode {
                     AthenaMsg::Data {
                         object,
                         push_to: None,
+                        for_query: qid_tag(qid),
                     },
                 );
                 return;
@@ -1041,6 +1098,7 @@ impl AthenaNode {
                             ctx.emit(EventKind::ApproxHit {
                                 name: name.to_string(),
                                 substitute: object.name.to_string(),
+                                query: qid_attr(qid),
                             });
                         }
                         ctx.send(
@@ -1048,6 +1106,7 @@ impl AthenaNode {
                             AthenaMsg::Data {
                                 object,
                                 push_to: None,
+                                for_query: qid_tag(qid),
                             },
                         );
                         return;
@@ -1077,11 +1136,20 @@ impl AthenaNode {
                 object.sampled_at,
                 object.validity,
             );
+            if ctx.obs_enabled() {
+                ctx.emit(EventKind::CacheStore {
+                    name: object.name.to_string(),
+                    bytes: object.size,
+                    validity_us: object.validity.as_micros(),
+                    query: qid_attr(qid),
+                });
+            }
             ctx.send(
                 from,
                 AthenaMsg::Data {
                     object,
                     push_to: None,
+                    for_query: qid_tag(qid),
                 },
             );
             return;
@@ -1098,6 +1166,7 @@ impl AthenaNode {
             ctx.emit(EventKind::CacheMiss {
                 name: name.to_string(),
                 forwarded_to,
+                query: qid_attr(qid),
             });
         }
         // Register the interest; forward only the first.
@@ -1127,12 +1196,14 @@ impl AthenaNode {
     }
 
     /// Handles arriving data: cache, serve interests, annotate, continue a
-    /// prefetch push.
+    /// prefetch push. `for_query` is the sender's attribution tag — the
+    /// decision the object is traveling for, when the sender knew it.
     fn handle_data(
         &mut self,
         ctx: &mut Context<'_, AthenaMsg>,
         object: EvidenceObject,
         push_to: Option<NodeId>,
+        for_query: Option<QueryId>,
     ) {
         let me = ctx.node();
         self.content.insert(
@@ -1143,17 +1214,36 @@ impl AthenaNode {
             object.validity,
         );
 
-        // Collect distinct neighbor requesters from the PIT.
+        // Collect distinct neighbor requesters from the PIT, remembering
+        // which decision each neighbor's interest serves (for attribution
+        // of the forwarded copies).
         let interests = self.pit.take(&object.name);
         let mut neighbor_targets: BTreeSet<NodeId> = BTreeSet::new();
+        let mut nb_query: BTreeMap<NodeId, QueryId> = BTreeMap::new();
+        let mut interest_query: Option<QueryId> = None;
         let mut local_interested = false;
         for i in &interests {
+            let (qid_i, _) = &i.query;
+            if interest_query.is_none() {
+                interest_query = qid_tag(*qid_i);
+            }
             match i.requester {
                 Requester::Local => local_interested = true,
                 Requester::Neighbor(nb) => {
                     neighbor_targets.insert(nb);
+                    if let Some(tag) = qid_tag(*qid_i) {
+                        nb_query.entry(nb).or_insert(tag);
+                    }
                 }
             }
+        }
+        if ctx.obs_enabled() {
+            ctx.emit(EventKind::CacheStore {
+                name: object.name.to_string(),
+                bytes: object.size,
+                validity_us: object.validity.as_micros(),
+                query: for_query.or(interest_query).map(|q| q.0),
+            });
         }
         // Continue a prefetch push toward its destination.
         let mut push_hop: Option<(NodeId, NodeId)> = None; // (next hop, final dst)
@@ -1172,6 +1262,7 @@ impl AthenaNode {
                 AthenaMsg::Data {
                     object: object.clone(),
                     push_to: if continues_push { push_to } else { None },
+                    for_query: nb_query.get(nb).copied().or(for_query),
                 },
             );
             if continues_push {
@@ -1186,6 +1277,7 @@ impl AthenaNode {
                     AthenaMsg::Data {
                         object: object.clone(),
                         push_to: Some(dst),
+                        for_query,
                     },
                 );
             }
@@ -1224,6 +1316,7 @@ impl AthenaNode {
                                     AthenaMsg::Data {
                                         object: object.clone(),
                                         push_to: None,
+                                        for_query: qid_tag(qid_i),
                                     },
                                 );
                             }
@@ -1265,6 +1358,7 @@ impl AthenaNode {
         validity: SimDuration,
         annotator: NodeId,
         based_on: Name,
+        for_query: Option<QueryId>,
     ) {
         let now = ctx.now();
         let me = ctx.node();
@@ -1285,7 +1379,7 @@ impl AthenaNode {
                     continue;
                 }
                 let interests = self.pit.take(&name);
-                let mut targets: BTreeSet<NodeId> = BTreeSet::new();
+                let mut targets: BTreeMap<NodeId, Option<QueryId>> = BTreeMap::new();
                 let mut any_emptied = false;
                 let mut kept: Vec<Label> = Vec::new();
                 for i in interests {
@@ -1294,7 +1388,7 @@ impl AthenaNode {
                         // Forward the share to the requester and whittle the
                         // interest; it stays pending for its other labels.
                         if let Requester::Neighbor(nb) = i.requester {
-                            targets.insert(nb);
+                            targets.entry(nb).or_insert(qid_tag(qid_i));
                         }
                         // Local interests are satisfied via apply_shared_label.
                         wanted_i.retain(|l| l != &label);
@@ -1317,7 +1411,7 @@ impl AthenaNode {
                 if any_emptied && !kept.is_empty() {
                     self.reforward_request(ctx, &name, kept);
                 }
-                for nb in targets {
+                for (nb, nb_query) in targets {
                     self.stats.labels_forwarded += 1;
                     ctx.send(
                         nb,
@@ -1328,6 +1422,7 @@ impl AthenaNode {
                             validity,
                             annotator,
                             based_on: based_on.clone(),
+                            for_query: nb_query.or(for_query),
                         },
                     );
                 }
@@ -1349,6 +1444,7 @@ impl AthenaNode {
                                 validity,
                                 annotator,
                                 based_on,
+                                for_query,
                             },
                         );
                     }
@@ -1409,9 +1505,16 @@ impl AthenaNode {
             self.recent_pushes.insert(key, now);
             self.stats.prefetch_pushes += 1;
             if ctx.obs_enabled() {
+                ctx.emit(EventKind::CacheStore {
+                    name: object.name.to_string(),
+                    bytes: object.size,
+                    validity_us: object.validity.as_micros(),
+                    query: Some(task.qid.0),
+                });
                 ctx.emit(EventKind::PrefetchPush {
                     name: object.name.to_string(),
                     toward: hop.index() as u32,
+                    query: Some(task.qid.0),
                 });
             }
             ctx.send(
@@ -1419,6 +1522,7 @@ impl AthenaNode {
                 AthenaMsg::Data {
                     object,
                     push_to: Some(task.origin),
+                    for_query: Some(task.qid),
                 },
             );
             break; // one push per tick keeps prefetch in the background
@@ -1480,11 +1584,12 @@ impl Protocol for AthenaNode {
                 query: qid.0,
                 origin: me.index() as u32,
             });
-            let rationale = self.plan_rationale(&inst.expr, ctx);
+            let (rationale, expected_bytes) = self.plan_rationale(&inst.expr, ctx);
             ctx.emit(EventKind::Plan {
                 query: qid.0,
                 strategy: self.shared.config.strategy.code(),
                 candidates: candidates.len() as u64,
+                expected_bytes,
                 rationale,
             });
         }
@@ -1551,6 +1656,7 @@ impl Protocol for AthenaNode {
                             self.prefetch_queue.push_back(PushTask {
                                 object_idx: idx,
                                 origin,
+                                qid,
                                 deadline_at,
                             });
                         }
@@ -1569,8 +1675,12 @@ impl Protocol for AthenaNode {
             } => {
                 self.handle_request(ctx, from, name, wanted, qid, origin, kind);
             }
-            AthenaMsg::Data { object, push_to } => {
-                self.handle_data(ctx, object, push_to);
+            AthenaMsg::Data {
+                object,
+                push_to,
+                for_query,
+            } => {
+                self.handle_data(ctx, object, push_to, for_query);
             }
             AthenaMsg::LabelShare {
                 label,
@@ -1579,9 +1689,10 @@ impl Protocol for AthenaNode {
                 validity,
                 annotator,
                 based_on,
+                for_query,
             } => {
                 self.handle_label_share(
-                    ctx, from, label, value, sampled_at, validity, annotator, based_on,
+                    ctx, from, label, value, sampled_at, validity, annotator, based_on, for_query,
                 );
             }
         }

@@ -35,6 +35,15 @@ pub trait WireMessage {
     fn background(&self) -> bool {
         false
     }
+
+    /// The decision query this message is serving, if the protocol can
+    /// attribute it. Carried on the `transmit`/`deliver`/`loss` trace
+    /// events so the `dde-obs` cost ledger can charge link bytes to the
+    /// causing decision; `None` traffic lands in the ledger's overhead
+    /// bucket. Purely observational — never consulted by the simulator.
+    fn attribution(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Node-local protocol logic.
@@ -642,6 +651,7 @@ impl<P: Protocol> Simulator<P> {
                     msg,
                     bytes,
                     background,
+                    ..
                 } => Some(TraceEvent {
                     at: rec.at,
                     from: NodeId(from as usize),
@@ -755,6 +765,7 @@ impl<P: Protocol> Simulator<P> {
                     from: from.index() as u32,
                     to: to.index() as u32,
                     msg: kind,
+                    query: msg.attribution(),
                 },
             );
         }
@@ -823,6 +834,7 @@ impl<P: Protocol> Simulator<P> {
                 msg: msg.kind(),
                 bytes,
                 background: msg.background(),
+                query: msg.attribution(),
             },
         );
         let lost = spec.loss > 0.0 && self.rng.gen::<f64>() < spec.loss;
@@ -838,6 +850,7 @@ impl<P: Protocol> Simulator<P> {
                     to: to.index() as u32,
                     msg: msg.kind(),
                     bytes,
+                    query: msg.attribution(),
                 },
             );
         }

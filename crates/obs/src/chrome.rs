@@ -91,6 +91,7 @@ mod tests {
                 from: 1,
                 to: 7,
                 msg: "data",
+                query: None,
             },
         }];
         let doc = chrome_trace_from_records(&recs);
@@ -116,6 +117,7 @@ mod tests {
             kind: EventKind::CacheHit {
                 name: "/x".into(),
                 requester: 0,
+                query: None,
             },
         };
         let jsonl = format!("{}\n", rec.to_jsonl_line());

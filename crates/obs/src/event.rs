@@ -4,8 +4,15 @@
 //! link-level events (`transmit`, `deliver`, `loss`, `drop`, `purge`,
 //! `fault`); the Athena protocol emits decision-level events (`query-init`,
 //! `plan`, `request-send`, `cache-hit`/`cache-miss`, `label-hit`,
-//! `approx-hit`, `local-sample`, `annotate`, `label-share`,
+//! `approx-hit`, `local-sample`, `cache-store`, `annotate`, `label-share`,
 //! `prefetch-push`, `triage-drop`, `query-resolved`, `query-missed`).
+//!
+//! Events that consume resources on behalf of a decision carry an
+//! *attribution key*: the causing query id (link-layer `query` field) and,
+//! where the predicate is known, the OR-term/condition coordinates
+//! (`term`/`cond` on `request-send` and `annotate`). The
+//! [`ledger`](crate::ledger) module folds these into a per-decision
+//! [`CostLedger`](crate::ledger::CostLedger).
 //!
 //! A [`TraceRecord`] stamps an [`EventKind`] with the *simulated* time it
 //! occurred and the node reporting it. Node identity is a plain `u32`
@@ -42,6 +49,8 @@ pub enum EventKind {
         bytes: u64,
         /// Whether it rode in the background priority class.
         background: bool,
+        /// The decision query this transmission serves, when attributable.
+        query: Option<u64>,
     },
     /// A message arrived and is being handled at `to`.
     Deliver {
@@ -51,6 +60,8 @@ pub enum EventKind {
         to: u32,
         /// Message kind tag.
         msg: &'static str,
+        /// The decision query this delivery serves, when attributable.
+        query: Option<u64>,
     },
     /// A transmission was lost to link noise (seeded sampling).
     Loss {
@@ -62,6 +73,8 @@ pub enum EventKind {
         msg: &'static str,
         /// Wire size in bytes (bandwidth was still consumed).
         bytes: u64,
+        /// The decision query the lost message served, when attributable.
+        query: Option<u64>,
     },
     /// An in-flight message was dropped at arrival.
     Drop {
@@ -107,6 +120,9 @@ pub enum EventKind {
         strategy: &'static str,
         /// Number of candidate objects selected.
         candidates: u64,
+        /// Predicted expected retrieval cost in bytes (§III-A expected
+        /// short-circuit cost of the chosen plan ordering).
+        expected_bytes: u64,
         /// Human-readable ordering rationale (term ranking, expected
         /// costs, short-circuit ratios).
         rationale: String,
@@ -119,6 +135,10 @@ pub enum EventKind {
         name: String,
         /// First hop the request was sent to.
         hop: u32,
+        /// OR-term index of the predicate driving this fetch.
+        term: Option<u32>,
+        /// Condition index within the OR-term.
+        cond: Option<u32>,
     },
     /// A request was answered from this node's content store.
     CacheHit {
@@ -126,6 +146,8 @@ pub enum EventKind {
         name: String,
         /// Neighbor the reply was sent to.
         requester: u32,
+        /// The decision query the request served, when attributable.
+        query: Option<u64>,
     },
     /// A request could not be served locally and was forwarded (or hit a
     /// dead end).
@@ -134,6 +156,8 @@ pub enum EventKind {
         name: String,
         /// Next hop it was forwarded to, if a route existed.
         forwarded_to: Option<u32>,
+        /// The decision query the request served, when attributable.
+        query: Option<u64>,
     },
     /// A request was answered with cached *labels* instead of data (§VI-D).
     LabelHit {
@@ -141,6 +165,8 @@ pub enum EventKind {
         requester: u32,
         /// How many of the request's labels were answered.
         labels: u64,
+        /// The decision query the request served, when attributable.
+        query: Option<u64>,
     },
     /// A request was answered with an approximate (same-prefix) substitute
     /// object (§V-A).
@@ -149,11 +175,27 @@ pub enum EventKind {
         name: String,
         /// The substitute actually served.
         substitute: String,
+        /// The decision query the request served, when attributable.
+        query: Option<u64>,
     },
     /// A label was resolved by sampling a co-located sensor (no network).
     LocalSample {
         /// Sampled object name.
         name: String,
+        /// The decision query the sample served, when attributable.
+        query: Option<u64>,
+    },
+    /// An object was stored into a node's content store; occupancy is
+    /// charged as `bytes × validity_us` (byte-microseconds) to `query`.
+    CacheStore {
+        /// Stored object name.
+        name: String,
+        /// Object payload size in bytes.
+        bytes: u64,
+        /// Remaining validity when stored, in microseconds.
+        validity_us: u64,
+        /// The decision query whose retrieval caused the store.
+        query: Option<u64>,
     },
     /// Evidence was annotated into a label value at the query origin.
     Annotate {
@@ -163,6 +205,10 @@ pub enum EventKind {
         label: String,
         /// The judged value.
         value: bool,
+        /// OR-term index of the annotated predicate.
+        term: Option<u32>,
+        /// Condition index within the OR-term.
+        cond: Option<u32>,
     },
     /// A label value was shared toward the evidence source (§VI-D).
     LabelShare {
@@ -172,6 +218,8 @@ pub enum EventKind {
         value: bool,
         /// First hop of the share.
         toward: u32,
+        /// The decision query whose annotation is being shared.
+        query: Option<u64>,
     },
     /// A source-side prefetch push was initiated (§VI-A).
     PrefetchPush {
@@ -179,6 +227,8 @@ pub enum EventKind {
         name: String,
         /// First hop toward the anticipated consumer.
         toward: u32,
+        /// The decision query whose announce triggered the push.
+        query: Option<u64>,
     },
     /// A background push was dropped by sub-additive utility triage (§V-B).
     TriageDrop {
@@ -221,6 +271,7 @@ impl EventKind {
             EventKind::LabelHit { .. } => "label-hit",
             EventKind::ApproxHit { .. } => "approx-hit",
             EventKind::LocalSample { .. } => "local-sample",
+            EventKind::CacheStore { .. } => "cache-store",
             EventKind::Annotate { .. } => "annotate",
             EventKind::LabelShare { .. } => "label-share",
             EventKind::PrefetchPush { .. } => "prefetch-push",
@@ -242,6 +293,22 @@ impl EventKind {
         fn s(v: &str) -> JsonValue {
             JsonValue::Str(v.to_string())
         }
+        /// Appends `"query": q` only when the attribution is present, so
+        /// unattributable events keep their pre-attribution wire shape.
+        fn push_query(pairs: &mut Vec<(String, JsonValue)>, query: &Option<u64>) {
+            if let Some(q) = query {
+                pairs.push(("query".into(), JsonValue::Int(*q as i64)));
+            }
+        }
+        /// Appends `"term"`/`"cond"` predicate coordinates when present.
+        fn push_pred(pairs: &mut Vec<(String, JsonValue)>, term: &Option<u32>, cond: &Option<u32>) {
+            if let Some(t) = term {
+                pairs.push(("term".into(), JsonValue::Int(*t as i64)));
+            }
+            if let Some(c) = cond {
+                pairs.push(("cond".into(), JsonValue::Int(*c as i64)));
+            }
+        }
         match self {
             EventKind::Transmit {
                 from,
@@ -249,29 +316,48 @@ impl EventKind {
                 msg,
                 bytes,
                 background,
-            } => vec![
-                ("from".into(), u(*from)),
-                ("to".into(), u(*to)),
-                ("msg".into(), s(msg)),
-                ("bytes".into(), n(*bytes)),
-                ("bg".into(), JsonValue::Bool(*background)),
-            ],
-            EventKind::Deliver { from, to, msg } => vec![
-                ("from".into(), u(*from)),
-                ("to".into(), u(*to)),
-                ("msg".into(), s(msg)),
-            ],
+                query,
+            } => {
+                let mut pairs = vec![
+                    ("from".into(), u(*from)),
+                    ("to".into(), u(*to)),
+                    ("msg".into(), s(msg)),
+                    ("bytes".into(), n(*bytes)),
+                    ("bg".into(), JsonValue::Bool(*background)),
+                ];
+                push_query(&mut pairs, query);
+                pairs
+            }
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                query,
+            } => {
+                let mut pairs = vec![
+                    ("from".into(), u(*from)),
+                    ("to".into(), u(*to)),
+                    ("msg".into(), s(msg)),
+                ];
+                push_query(&mut pairs, query);
+                pairs
+            }
             EventKind::Loss {
                 from,
                 to,
                 msg,
                 bytes,
-            } => vec![
-                ("from".into(), u(*from)),
-                ("to".into(), u(*to)),
-                ("msg".into(), s(msg)),
-                ("bytes".into(), n(*bytes)),
-            ],
+                query,
+            } => {
+                let mut pairs = vec![
+                    ("from".into(), u(*from)),
+                    ("to".into(), u(*to)),
+                    ("msg".into(), s(msg)),
+                    ("bytes".into(), n(*bytes)),
+                ];
+                push_query(&mut pairs, query);
+                pairs
+            }
             EventKind::Drop { from, to, reason } => vec![
                 ("from".into(), u(*from)),
                 ("to".into(), u(*to)),
@@ -296,58 +382,137 @@ impl EventKind {
                 query,
                 strategy,
                 candidates,
+                expected_bytes,
                 rationale,
             } => vec![
                 ("query".into(), n(*query)),
                 ("strategy".into(), s(strategy)),
                 ("candidates".into(), n(*candidates)),
+                ("expected_bytes".into(), n(*expected_bytes)),
                 ("rationale".into(), s(rationale)),
             ],
-            EventKind::RequestSend { query, name, hop } => vec![
-                ("query".into(), n(*query)),
-                ("name".into(), s(name)),
-                ("hop".into(), u(*hop)),
-            ],
-            EventKind::CacheHit { name, requester } => vec![
-                ("name".into(), s(name)),
-                ("requester".into(), u(*requester)),
-            ],
-            EventKind::CacheMiss { name, forwarded_to } => vec![
-                ("name".into(), s(name)),
-                (
-                    "forwarded_to".into(),
-                    forwarded_to.map(u).unwrap_or(JsonValue::Null),
-                ),
-            ],
-            EventKind::LabelHit { requester, labels } => vec![
-                ("requester".into(), u(*requester)),
-                ("labels".into(), n(*labels)),
-            ],
-            EventKind::ApproxHit { name, substitute } => vec![
-                ("name".into(), s(name)),
-                ("substitute".into(), s(substitute)),
-            ],
-            EventKind::LocalSample { name } => vec![("name".into(), s(name))],
+            EventKind::RequestSend {
+                query,
+                name,
+                hop,
+                term,
+                cond,
+            } => {
+                let mut pairs = vec![
+                    ("query".into(), n(*query)),
+                    ("name".into(), s(name)),
+                    ("hop".into(), u(*hop)),
+                ];
+                push_pred(&mut pairs, term, cond);
+                pairs
+            }
+            EventKind::CacheHit {
+                name,
+                requester,
+                query,
+            } => {
+                let mut pairs = vec![
+                    ("name".into(), s(name)),
+                    ("requester".into(), u(*requester)),
+                ];
+                push_query(&mut pairs, query);
+                pairs
+            }
+            EventKind::CacheMiss {
+                name,
+                forwarded_to,
+                query,
+            } => {
+                let mut pairs = vec![
+                    ("name".into(), s(name)),
+                    (
+                        "forwarded_to".into(),
+                        forwarded_to.map(u).unwrap_or(JsonValue::Null),
+                    ),
+                ];
+                push_query(&mut pairs, query);
+                pairs
+            }
+            EventKind::LabelHit {
+                requester,
+                labels,
+                query,
+            } => {
+                let mut pairs = vec![
+                    ("requester".into(), u(*requester)),
+                    ("labels".into(), n(*labels)),
+                ];
+                push_query(&mut pairs, query);
+                pairs
+            }
+            EventKind::ApproxHit {
+                name,
+                substitute,
+                query,
+            } => {
+                let mut pairs = vec![
+                    ("name".into(), s(name)),
+                    ("substitute".into(), s(substitute)),
+                ];
+                push_query(&mut pairs, query);
+                pairs
+            }
+            EventKind::LocalSample { name, query } => {
+                let mut pairs = vec![("name".into(), s(name))];
+                push_query(&mut pairs, query);
+                pairs
+            }
+            EventKind::CacheStore {
+                name,
+                bytes,
+                validity_us,
+                query,
+            } => {
+                let mut pairs = vec![
+                    ("name".into(), s(name)),
+                    ("bytes".into(), n(*bytes)),
+                    ("validity_us".into(), n(*validity_us)),
+                ];
+                push_query(&mut pairs, query);
+                pairs
+            }
             EventKind::Annotate {
                 query,
                 label,
                 value,
-            } => vec![
-                ("query".into(), n(*query)),
-                ("label".into(), s(label)),
-                ("value".into(), JsonValue::Bool(*value)),
-            ],
+                term,
+                cond,
+            } => {
+                let mut pairs = vec![
+                    ("query".into(), n(*query)),
+                    ("label".into(), s(label)),
+                    ("value".into(), JsonValue::Bool(*value)),
+                ];
+                push_pred(&mut pairs, term, cond);
+                pairs
+            }
             EventKind::LabelShare {
                 label,
                 value,
                 toward,
-            } => vec![
-                ("label".into(), s(label)),
-                ("value".into(), JsonValue::Bool(*value)),
-                ("toward".into(), u(*toward)),
-            ],
-            EventKind::PrefetchPush { name, toward } => {
-                vec![("name".into(), s(name)), ("toward".into(), u(*toward))]
+                query,
+            } => {
+                let mut pairs = vec![
+                    ("label".into(), s(label)),
+                    ("value".into(), JsonValue::Bool(*value)),
+                    ("toward".into(), u(*toward)),
+                ];
+                push_query(&mut pairs, query);
+                pairs
+            }
+            EventKind::PrefetchPush {
+                name,
+                toward,
+                query,
+            } => {
+                let mut pairs = vec![("name".into(), s(name)), ("toward".into(), u(*toward))];
+                push_query(&mut pairs, query);
+                pairs
             }
             EventKind::TriageDrop { name, hop } => {
                 vec![("name".into(), s(name)), ("hop".into(), u(*hop))]
@@ -405,11 +570,32 @@ mod tests {
                 msg: "data",
                 bytes: 450_000,
                 background: false,
+                query: None,
             },
         };
         assert_eq!(
             rec.to_jsonl_line(),
             r#"{"t":1500,"node":3,"kind":"transmit","from":3,"to":4,"msg":"data","bytes":450000,"bg":false}"#
+        );
+    }
+
+    #[test]
+    fn attribution_appends_query_field() {
+        let rec = TraceRecord {
+            at: SimTime::from_micros(1500),
+            node: 3,
+            kind: EventKind::Transmit {
+                from: 3,
+                to: 4,
+                msg: "data",
+                bytes: 450_000,
+                background: false,
+                query: Some(12),
+            },
+        };
+        assert_eq!(
+            rec.to_jsonl_line(),
+            r#"{"t":1500,"node":3,"kind":"transmit","from":3,"to":4,"msg":"data","bytes":450000,"bg":false,"query":12}"#
         );
     }
 
@@ -422,17 +608,20 @@ mod tests {
                 msg: "request",
                 bytes: 64,
                 background: true,
+                query: Some(7),
             },
             EventKind::Deliver {
                 from: 0,
                 to: 1,
                 msg: "data",
+                query: None,
             },
             EventKind::Loss {
                 from: 0,
                 to: 1,
                 msg: "label",
                 bytes: 9,
+                query: Some(3),
             },
             EventKind::Drop {
                 from: 0,
@@ -462,45 +651,63 @@ mod tests {
                 query: 7,
                 strategy: "lvf",
                 candidates: 4,
+                expected_bytes: 120_000,
                 rationale: "1. course of action #0\n".into(),
             },
             EventKind::RequestSend {
                 query: 7,
                 name: "/city/x".into(),
                 hop: 1,
+                term: Some(0),
+                cond: Some(2),
             },
             EventKind::CacheHit {
                 name: "/city/x".into(),
                 requester: 0,
+                query: Some(7),
             },
             EventKind::CacheMiss {
                 name: "/city/x".into(),
                 forwarded_to: None,
+                query: None,
             },
             EventKind::LabelHit {
                 requester: 0,
                 labels: 2,
+                query: Some(7),
             },
             EventKind::ApproxHit {
                 name: "/city/x/a".into(),
                 substitute: "/city/x/b".into(),
+                query: Some(7),
             },
             EventKind::LocalSample {
                 name: "/city/x".into(),
+                query: Some(7),
+            },
+            EventKind::CacheStore {
+                name: "/city/x".into(),
+                bytes: 450_000,
+                validity_us: 60_000_000,
+                query: Some(7),
             },
             EventKind::Annotate {
                 query: 7,
                 label: "cond".into(),
                 value: true,
+                term: Some(1),
+                cond: Some(0),
             },
             EventKind::LabelShare {
                 label: "cond".into(),
                 value: false,
                 toward: 3,
+                query: Some(7),
             },
             EventKind::PrefetchPush {
                 name: "/city/x".into(),
                 toward: 3,
+                query: Some(7),
             },
             EventKind::TriageDrop {
                 name: "/city/x".into(),

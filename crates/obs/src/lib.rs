@@ -18,23 +18,34 @@
 //! - [`hist`] — fixed-bucket latency histograms surfacing p50/p95/p99;
 //! - [`diff`] — structural trace diffing (first divergent event,
 //!   per-kind count deltas) behind the `dde-trace` CLI;
-//! - [`chrome`] — Chrome trace-event (`about:tracing` / Perfetto) export.
+//! - [`chrome`] — Chrome trace-event (`about:tracing` / Perfetto) export;
+//! - [`attrib`] — attribution keys and the normalized record view;
+//! - [`ledger`] — the per-decision [`CostLedger`] with its conservation
+//!   invariant, built live by [`LedgerSink`] or folded from JSONL;
+//! - [`critical`] — per-query critical-path extraction (queueing vs.
+//!   transit vs. annotation vs. scheduler wait).
 
 #![warn(missing_docs)]
 // Determinism guardrails (see clippy.toml and dde-lint): hashed collections
 // and ambient clocks/env reads are disallowed in simulation library code.
 #![deny(clippy::disallowed_methods, clippy::disallowed_types)]
 
+pub mod attrib;
 pub mod chrome;
+pub mod critical;
 pub mod diff;
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod ledger;
 pub mod sink;
 
+pub use attrib::{LedgerView, PredKey, ViewKind};
 pub use chrome::{chrome_trace_from_jsonl, chrome_trace_from_records};
+pub use critical::{PathBreakdown, PathWalk};
 pub use diff::{diff_jsonl, Divergence, TraceDiff};
 pub use event::{EventKind, TraceRecord};
 pub use hist::Histogram;
 pub use json::{JsonError, JsonValue};
-pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, SharedSink, Sink};
+pub use ledger::{CostLedger, LedgerSink, PredicateWork, QueryCost};
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, SharedSink, Sink, TeeSink};

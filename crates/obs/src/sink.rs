@@ -180,6 +180,50 @@ impl<W: Write> Sink for ChromeTraceSink<W> {
     }
 }
 
+/// Fans each record out to two sinks — e.g. the caller's trace sink plus
+/// the engine's live [`LedgerSink`](crate::ledger::LedgerSink).
+///
+/// Enabled when *either* side is enabled; a disabled side is skipped per
+/// record, so teeing a `NullSink` with a ledger costs the ledger alone.
+pub struct TeeSink {
+    a: Box<dyn Sink>,
+    b: Box<dyn Sink>,
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeSink").finish_non_exhaustive()
+    }
+}
+
+impl TeeSink {
+    /// Tee records to both `a` and `b`.
+    pub fn new(a: Box<dyn Sink>, b: Box<dyn Sink>) -> Self {
+        Self { a, b }
+    }
+}
+
+impl Sink for TeeSink {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.a.enabled() {
+            self.a.record(rec);
+        }
+        if self.b.enabled() {
+            self.b.record(rec);
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let ra = self.a.flush();
+        let rb = self.b.flush();
+        ra.and(rb)
+    }
+}
+
 /// A cloneable handle to a shared sink, for wiring one sink into several
 /// owners (e.g. the simulator plus the caller that wants the collected
 /// trace back afterwards).
@@ -239,6 +283,7 @@ mod tests {
             node: 0,
             kind: EventKind::LocalSample {
                 name: "/x".to_string(),
+                query: None,
             },
         }
     }
@@ -270,6 +315,23 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_sides_and_skips_disabled_ones() {
+        let left = SharedSink::new(MemorySink::new());
+        let right = SharedSink::new(MemorySink::new());
+        let mut tee = TeeSink::new(Box::new(left.clone()), Box::new(right.clone()));
+        assert!(tee.enabled());
+        tee.record(&rec(1));
+        assert_eq!(left.with(|s| s.events().len()), 1);
+        assert_eq!(right.with(|s| s.events().len()), 1);
+
+        let only = SharedSink::new(MemorySink::new());
+        let mut tee = TeeSink::new(Box::new(NullSink), Box::new(only.clone()));
+        assert!(tee.enabled(), "one enabled side keeps the tee enabled");
+        tee.record(&rec(2));
+        assert_eq!(only.with(|s| s.events().len()), 1);
     }
 
     #[test]

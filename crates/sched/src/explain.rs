@@ -80,6 +80,57 @@ fn render(plan: &EvalPlan, depth: usize, out: &mut String) {
     }
 }
 
+/// One course of action's predicted quantities, in plan (evaluation) order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TermSummary {
+    /// The term's index in the original DNF expression.
+    pub term_idx: usize,
+    /// Probability the term evaluates true (all conditions hold).
+    pub prob_viable: f64,
+    /// Expected short-circuited fetch cost of evaluating the term, bytes.
+    pub expected_bytes: f64,
+}
+
+/// The machine-readable essence of a DNF retrieval plan: the §III-A
+/// predicted expected cost the planner committed to, per term and overall.
+/// Emitted on `plan` trace records so the `dde-obs` cost ledger can report
+/// predicted-vs-actual cost per decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSummary {
+    /// Courses of action in evaluation order.
+    pub terms: Vec<TermSummary>,
+    /// Expected total retrieval cost of the whole plan, in bytes.
+    pub expected_bytes: f64,
+}
+
+impl PlanSummary {
+    /// The predicted cost rounded to whole bytes (what trace records carry).
+    pub fn expected_bytes_rounded(&self) -> u64 {
+        if self.expected_bytes.is_finite() && self.expected_bytes > 0.0 {
+            self.expected_bytes.round() as u64
+        } else {
+            0
+        }
+    }
+}
+
+/// Distills a DNF plan into its predicted quantities.
+pub fn summarize_dnf_plan(plan: &DnfPlan) -> PlanSummary {
+    let terms = plan
+        .terms
+        .iter()
+        .map(|(term_idx, items)| TermSummary {
+            term_idx: *term_idx,
+            prob_viable: and_truth_prob(items),
+            expected_bytes: expected_and_cost(items),
+        })
+        .collect();
+    PlanSummary {
+        terms,
+        expected_bytes: plan.expected_cost(),
+    }
+}
+
 /// Renders a DNF retrieval plan: the candidate courses of action in
 /// evaluation order, each with its internally ordered fetches.
 pub fn explain_dnf_plan(plan: &DnfPlan) -> String {
@@ -163,6 +214,28 @@ mod tests {
         assert!(first.contains("course of action #1"), "{first}");
         assert!(text.contains("expected total"));
         assert!(text.contains("fetch y1"));
+    }
+
+    #[test]
+    fn plan_summary_matches_the_rendered_totals() {
+        let q = Dnf::from_terms(vec![Term::all_of(["x1", "x2"]), Term::all_of(["y1"])]);
+        let m = meta(&[
+            ("x1", 500_000, 0.2),
+            ("x2", 500_000, 0.2),
+            ("y1", 100_000, 0.9),
+        ]);
+        let plan = plan_dnf(&q, &m);
+        let summary = summarize_dnf_plan(&plan);
+        assert_eq!(summary.terms.len(), 2);
+        assert!((summary.expected_bytes - plan.expected_cost()).abs() < 1e-9);
+        assert_eq!(
+            summary.expected_bytes_rounded(),
+            plan.expected_cost().round() as u64
+        );
+        // Plan order: the cheap likely term first, so the first summary
+        // entry is the y-term with its own expected cost.
+        assert_eq!(summary.terms[0].term_idx, 1);
+        assert!(summary.terms[0].prob_viable > 0.8);
     }
 
     #[test]

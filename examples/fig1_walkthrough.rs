@@ -92,6 +92,7 @@ fn run(prefetch: bool) -> (RunReport, Vec<Row>) {
                     msg,
                     bytes,
                     background,
+                    ..
                 } => Some(Row {
                     at: rec.at,
                     from: NodeId(*from as usize),

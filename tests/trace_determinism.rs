@@ -65,7 +65,14 @@ fn sink_does_not_perturb_the_simulation() {
     let seed = 5;
     let baseline = run_scenario(&small_scenario(seed), options(seed));
     let sink = SharedSink::new(MemorySink::new());
-    let observed = run_scenario_observed(&small_scenario(seed), options(seed), Box::new(sink));
+    let mut observed = run_scenario_observed(&small_scenario(seed), options(seed), Box::new(sink));
+    // Observed runs additionally carry the cost ledger; everything the
+    // simulation itself computed must be identical.
+    let ledger = observed
+        .ledger
+        .take()
+        .expect("observed runs carry a ledger");
+    assert!(ledger.conserves(), "ledger must conserve byte/msg totals");
     assert_eq!(
         baseline, observed,
         "attaching a sink must not change the RunReport"
