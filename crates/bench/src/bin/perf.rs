@@ -21,6 +21,7 @@
 
 use dde_bench::write_bench_json;
 use dde_bench::{run_point, HarnessConfig};
+use dde_core::prelude::{run_scenario_sharded, RunOptions};
 use dde_core::strategy::Strategy;
 use dde_naming::fib::Fib;
 use dde_naming::name::Name;
@@ -239,6 +240,33 @@ fn main() {
         push("e2e_queries", (ns, ops_s), queries);
     }
 
+    // 8. City-scale sharded simulation: events per wall-clock second at 1
+    //    and 4 worker threads. Wall-clock figures are host-dependent —
+    //    `host_cpus` is recorded at the top level so flat scaling on a
+    //    single-core runner reads as what it is.
+    {
+        let scenario = dde_workload::scenario::Scenario::build(
+            ScenarioConfig::city()
+                .with_seed(cfg.seed)
+                .with_fast_ratio(0.4),
+        );
+        for t in [1usize, 4] {
+            let mut best = f64::INFINITY;
+            let mut events = 0u64;
+            for _ in 0..cfg.reps.clamp(1, 3) {
+                let mut options = RunOptions::new(Strategy::LvfLabelShare);
+                options.seed = cfg.seed ^ 0x5eed;
+                let start = Instant::now();
+                let report = run_scenario_sharded(&scenario, options, t);
+                best = best.min(start.elapsed().as_secs_f64());
+                events = report.events;
+            }
+            let ops_s = events as f64 / best;
+            let ns = best * 1e9 / events as f64;
+            push(&format!("city_events_t{t}"), (ns, ops_s), events);
+        }
+    }
+
     // Embed the baseline (if given) and compute per-bench speedups.
     let current = JsonValue::Object(vec![
         ("label".into(), JsonValue::Str(label)),
@@ -271,11 +299,15 @@ fn main() {
         JsonValue::Object(out)
     });
 
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get() as i64)
+        .unwrap_or(1);
     let mut top = vec![
         ("bench".into(), JsonValue::Str("perf".into())),
         ("names".into(), JsonValue::Int(N as i64)),
         ("reps".into(), JsonValue::Int(cfg.reps as i64)),
         ("seed".into(), JsonValue::Int(cfg.seed as i64)),
+        ("host_cpus".into(), JsonValue::Int(host_cpus)),
         ("before".into(), before.unwrap_or(JsonValue::Null)),
         ("after".into(), current),
     ];

@@ -12,7 +12,9 @@ use crate::query::{QueryOutcome, QueryStatus};
 use crate::strategy::Strategy;
 use dde_logic::time::{SimDuration, SimTime};
 use dde_netsim::fault::FaultSchedule;
+use dde_netsim::shard::ShardedSimulator;
 use dde_netsim::sim::Simulator;
+use dde_netsim::Metrics;
 use dde_obs::{CostLedger, Histogram, LedgerSink, SharedSink, Sink, TeeSink};
 use dde_workload::scenario::Scenario;
 use std::collections::BTreeMap;
@@ -239,12 +241,87 @@ pub fn run_scenario_with_annotator(
     run_scenario_inner(scenario, options, annotator, None)
 }
 
-fn run_scenario_inner(
+/// Runs `scenario` on the sharded conservative-parallel engine
+/// ([`ShardedSimulator`]) with up to `threads` worker regions.
+///
+/// A given `(scenario, options)` produces the same report at any thread
+/// count — including the event count and, for
+/// [`run_scenario_sharded_observed`], a byte-identical trace. Note the
+/// sharded engine is seed-stable across *its own* thread counts, not
+/// byte-compatible with [`run_scenario`]'s classic engine (different
+/// tie-break and fault-batching rules; see `dde_netsim::shard`).
+pub fn run_scenario_sharded(scenario: &Scenario, options: RunOptions, threads: usize) -> RunReport {
+    run_scenario_sharded_inner(scenario, options, threads, None)
+}
+
+/// Observed variant of [`run_scenario_sharded`]: per-shard trace streams
+/// are merged into one deterministically ordered stream feeding `sink`,
+/// with the live cost ledger teed in exactly as in
+/// [`run_scenario_observed`].
+pub fn run_scenario_sharded_observed(
     scenario: &Scenario,
     options: RunOptions,
-    annotator: Arc<dyn Annotator + Send + Sync>,
+    threads: usize,
+    sink: Box<dyn Sink>,
+) -> RunReport {
+    run_scenario_sharded_inner(scenario, options, threads, Some(sink))
+}
+
+fn run_scenario_sharded_inner(
+    scenario: &Scenario,
+    options: RunOptions,
+    threads: usize,
     sink: Option<Box<dyn Sink>>,
 ) -> RunReport {
+    let annotator: Arc<dyn Annotator + Send + Sync> = Arc::new(GroundTruthAnnotator);
+    let shared = build_shared_world(scenario, &options);
+    let nodes = build_nodes(scenario, &shared, &annotator);
+    let mut sim = ShardedSimulator::new(scenario.topology.clone(), nodes, options.seed, threads);
+    sim.set_medium(options.medium);
+    let ledger_handle = sink.map(|user| {
+        let shared = SharedSink::new(LedgerSink::new());
+        sim.set_sink(Box::new(TeeSink::new(user, Box::new(shared.clone()))));
+        shared
+    });
+
+    let mut faults = scenario.faults.clone();
+    faults.merge(&options.faults);
+    sim.install_faults(&faults);
+
+    let mut last_deadline = SimTime::ZERO;
+    for q in &scenario.queries {
+        if let Some(lead) = options.announce_lead {
+            sim.schedule_external(
+                q.issue_at - lead,
+                q.origin,
+                crate::node::AthenaEvent::AnnounceOnly(q.clone()),
+            );
+        }
+        sim.schedule_external(q.issue_at, q.origin, q.clone().into());
+        last_deadline = last_deadline.max(q.issue_at + q.deadline);
+    }
+    let horizon = last_deadline + options.drain;
+    sim.run_until(horizon);
+
+    let _ = sim.sink_mut().flush();
+    let metrics = sim.metrics();
+    let nodes: Vec<&AthenaNode> = sim.nodes().collect();
+    let mut report = collect_report_parts(
+        &metrics,
+        sim.now(),
+        sim.events_processed(),
+        &nodes,
+        scenario,
+        options.strategy,
+        faults.len(),
+    );
+    drop(nodes);
+    report.ledger = ledger_handle.map(|h| h.with(|l| l.take_ledger()));
+    report
+}
+
+/// Builds the world + config shared by every node of a run.
+fn build_shared_world(scenario: &Scenario, options: &RunOptions) -> Arc<SharedWorld> {
     let mut config = NodeConfig::new(options.strategy);
     config.prefetch = options.prefetch;
     config.trust = options.trust.clone();
@@ -257,15 +334,32 @@ fn run_scenario_inner(
     config.prob_true_prior = scenario.config.prob_viable;
     config.planning_bandwidth_bps = scenario.config.link_bandwidth_bps;
 
-    let shared = Arc::new(SharedWorld {
+    Arc::new(SharedWorld {
         catalog: scenario.catalog.clone(),
         world: scenario.world.clone(),
         config,
-    });
+    })
+}
 
-    let nodes: Vec<AthenaNode> = (0..scenario.topology.len())
-        .map(|_| AthenaNode::new(Arc::clone(&shared), Arc::clone(&annotator)))
-        .collect();
+/// One Athena node per topology node, all sharing `shared` + `annotator`.
+fn build_nodes(
+    scenario: &Scenario,
+    shared: &Arc<SharedWorld>,
+    annotator: &Arc<dyn Annotator + Send + Sync>,
+) -> Vec<AthenaNode> {
+    (0..scenario.topology.len())
+        .map(|_| AthenaNode::new(Arc::clone(shared), Arc::clone(annotator)))
+        .collect()
+}
+
+fn run_scenario_inner(
+    scenario: &Scenario,
+    options: RunOptions,
+    annotator: Arc<dyn Annotator + Send + Sync>,
+    sink: Option<Box<dyn Sink>>,
+) -> RunReport {
+    let shared = build_shared_world(scenario, &options);
+    let nodes = build_nodes(scenario, &shared, &annotator);
     let mut sim = Simulator::new(scenario.topology.clone(), nodes, options.seed);
     sim.set_medium(options.medium);
     // Observed runs tee the event stream into a live cost ledger alongside
@@ -314,6 +408,30 @@ fn collect_report(
     strategy: Strategy,
     fault_events: usize,
 ) -> RunReport {
+    let nodes: Vec<&AthenaNode> = sim.nodes().collect();
+    collect_report_parts(
+        sim.metrics(),
+        sim.now(),
+        sim.events_processed(),
+        &nodes,
+        scenario,
+        strategy,
+        fault_events,
+    )
+}
+
+/// Engine-agnostic report assembly: the classic and sharded simulators
+/// both reduce to the same `(metrics, clock, event count, node states)`
+/// observables.
+fn collect_report_parts(
+    metrics: &Metrics,
+    finished_at: SimTime,
+    events: u64,
+    nodes: &[&AthenaNode],
+    scenario: &Scenario,
+    strategy: Strategy,
+    fault_events: usize,
+) -> RunReport {
     let mut report = RunReport {
         strategy,
         total_queries: scenario.queries.len(),
@@ -322,8 +440,8 @@ fn collect_report(
         infeasible: 0,
         missed: 0,
         accurate: 0,
-        total_bytes: sim.metrics().bytes_sent,
-        bytes_by_kind: sim.metrics().kinds().map(|(k, c)| (k, c.bytes)).collect(),
+        total_bytes: metrics.bytes_sent,
+        bytes_by_kind: metrics.kinds().map(|(k, c)| (k, c.bytes)).collect(),
         mean_resolution_latency: None,
         cache_hits: 0,
         label_hits: 0,
@@ -332,19 +450,19 @@ fn collect_report(
         approx_hits: 0,
         triage_drops: 0,
         fault_events,
-        messages_dropped_by_fault: sim.metrics().messages_dropped_by_fault,
-        messages_purged_by_fault: sim.metrics().messages_purged_by_fault,
-        finished_at: sim.now(),
-        events: sim.events_processed(),
+        messages_dropped_by_fault: metrics.messages_dropped_by_fault,
+        messages_purged_by_fault: metrics.messages_purged_by_fault,
+        finished_at,
+        events,
         latency_hist: Histogram::new(),
-        node_stats: sim.nodes().map(|n| n.stats).collect(),
+        node_stats: nodes.iter().map(|n| n.stats).collect(),
         queries: Vec::with_capacity(scenario.queries.len()),
         ledger: None,
     };
 
     let mut latency_sum = SimDuration::ZERO;
     let mut latency_count = 0u64;
-    for node in sim.nodes() {
+    for node in nodes {
         report.cache_hits += node.stats.cache_hits;
         report.label_hits += node.stats.label_hits;
         report.local_samples += node.stats.local_samples;

@@ -47,8 +47,8 @@ pub use annotate::{
     TrustPolicy,
 };
 pub use engine::{
-    run_all_strategies, run_scenario, run_scenario_observed, run_scenario_with_annotator,
-    QueryRecord, RunOptions, RunReport,
+    run_all_strategies, run_scenario, run_scenario_observed, run_scenario_sharded,
+    run_scenario_sharded_observed, run_scenario_with_annotator, QueryRecord, RunOptions, RunReport,
 };
 pub use msg::{AthenaMsg, QueryId, RequestKind};
 pub use node::{AthenaEvent, AthenaNode, CachedLabel, NodeConfig, NodeStats, SharedWorld};
@@ -60,8 +60,8 @@ pub use strategy::Strategy;
 pub mod prelude {
     pub use crate::annotate::{Annotator, GroundTruthAnnotator, TrustPolicy};
     pub use crate::engine::{
-        run_all_strategies, run_scenario, run_scenario_observed, run_scenario_with_annotator,
-        RunOptions, RunReport,
+        run_all_strategies, run_scenario, run_scenario_observed, run_scenario_sharded,
+        run_scenario_sharded_observed, run_scenario_with_annotator, RunOptions, RunReport,
     };
     pub use crate::msg::{AthenaMsg, QueryId};
     pub use crate::node::{AthenaNode, NodeConfig, SharedWorld};

@@ -14,7 +14,13 @@
 //! - [`metrics`] — per-link and per-message-kind traffic accounting, the
 //!   instrument behind the paper's Fig. 3 bandwidth comparison;
 //! - [`fault`] — seeded, replayable fault timelines (node churn, link
-//!   outages, partitions) the simulator applies at exact instants.
+//!   outages, partitions) the simulator applies at exact instants;
+//! - [`partition`] — deterministic balanced region partitioning with
+//!   conservative lookahead derived from boundary-link latency;
+//! - [`shard`] — the conservative parallel engine: regions pinned to
+//!   worker threads, barrier windows sized by the lookahead, stable
+//!   partition-independent event keys, so one seed yields a byte-identical
+//!   trace at any thread count.
 
 #![warn(missing_docs)]
 // Determinism guardrails (see clippy.toml and dde-lint): hashed collections
@@ -23,11 +29,15 @@
 
 pub mod fault;
 pub mod metrics;
+pub mod partition;
+pub mod shard;
 pub mod sim;
 pub mod topology;
 
 pub use fault::{FaultEvent, FaultSchedule, TimedFault};
 pub use metrics::{KindCounters, Metrics};
+pub use partition::Partition;
+pub use shard::{EventKey, ShardedSimulator};
 pub use sim::{Context, MediumMode, Protocol, Simulator, TraceEvent, WireMessage};
 pub use topology::{LinkSpec, NodeId, Topology};
 
@@ -35,6 +45,8 @@ pub use topology::{LinkSpec, NodeId, Topology};
 pub mod prelude {
     pub use crate::fault::{FaultEvent, FaultSchedule};
     pub use crate::metrics::Metrics;
+    pub use crate::partition::Partition;
+    pub use crate::shard::ShardedSimulator;
     pub use crate::sim::{Context, Protocol, Simulator, WireMessage};
     pub use crate::topology::{LinkSpec, NodeId, Topology};
     pub use dde_logic::time::{SimDuration, SimTime};

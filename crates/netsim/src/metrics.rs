@@ -79,6 +79,27 @@ impl Metrics {
         self.per_link.iter().map(|(k, v)| (*k, *v))
     }
 
+    /// Folds another set of counters into this one. Used by the sharded
+    /// simulator to aggregate per-region counters into the run totals;
+    /// every counter is a sum, so the fold is order-independent.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_lost += other.messages_lost;
+        self.messages_dropped += other.messages_dropped;
+        self.messages_dropped_by_fault += other.messages_dropped_by_fault;
+        self.messages_purged_by_fault += other.messages_purged_by_fault;
+        self.bytes_sent += other.bytes_sent;
+        for (link, bytes) in &other.per_link {
+            *self.per_link.entry(*link).or_insert(0) += bytes;
+        }
+        for (kind, c) in &other.per_kind {
+            let k = self.per_kind.entry(kind).or_default();
+            k.count += c.count;
+            k.bytes += c.bytes;
+        }
+    }
+
     /// The busiest directed link and its byte count, if any traffic flowed.
     pub fn hottest_link(&self) -> Option<((NodeId, NodeId), u64)> {
         self.per_link
@@ -114,6 +135,29 @@ mod tests {
         m.record_send(NodeId(0), NodeId(1), 10, "a");
         m.record_send(NodeId(2), NodeId(3), 99, "a");
         assert_eq!(m.hottest_link(), Some(((NodeId(2), NodeId(3)), 99)));
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let mut a = Metrics::new();
+        a.record_send(NodeId(0), NodeId(1), 5, "x");
+        a.messages_delivered = 1;
+        a.messages_dropped = 2;
+        let mut b = Metrics::new();
+        b.record_send(NodeId(0), NodeId(1), 7, "x");
+        b.record_send(NodeId(1), NodeId(2), 3, "y");
+        b.messages_lost = 4;
+        b.messages_purged_by_fault = 5;
+        a.absorb(&b);
+        assert_eq!(a.messages_sent, 3);
+        assert_eq!(a.bytes_sent, 15);
+        assert_eq!(a.messages_delivered, 1);
+        assert_eq!(a.messages_lost, 4);
+        assert_eq!(a.messages_dropped, 2);
+        assert_eq!(a.messages_purged_by_fault, 5);
+        assert_eq!(a.link_bytes(NodeId(0), NodeId(1)), 12);
+        assert_eq!(a.kind("x").count, 2);
+        assert_eq!(a.kind("y").bytes, 3);
     }
 
     #[test]

@@ -105,6 +105,24 @@ impl<M> std::fmt::Debug for Context<'_, M> {
 }
 
 impl<'a, M> Context<'a, M> {
+    /// Assembles a handler context. Crate-internal: the sharded engine
+    /// (`crate::shard`) builds the same view per dispatched event.
+    pub(crate) fn new(
+        now: SimTime,
+        node: NodeId,
+        topology: &'a Topology,
+        commands: &'a mut Vec<Command<M>>,
+        sink: &'a mut dyn Sink,
+    ) -> Context<'a, M> {
+        Context {
+            now,
+            node,
+            topology,
+            commands,
+            sink,
+        }
+    }
+
     /// Whether the active trace sink consumes events. Protocol code should
     /// check this before building event payloads that allocate (names,
     /// rationale strings) so the default [`dde_obs::NullSink`] costs one
@@ -180,7 +198,7 @@ impl<'a, M> Context<'a, M> {
 }
 
 #[derive(Debug)]
-enum Command<M> {
+pub(crate) enum Command<M> {
     Send { to: NodeId, msg: M },
     Timer { at: SimTime, tag: u64 },
 }
@@ -266,10 +284,10 @@ pub struct TraceEvent {
 
 /// Transmitter state of one directed link: whether it is currently
 /// clocking a message out, plus foreground and background wait queues.
-struct LinkState<M> {
-    busy: bool,
-    foreground: std::collections::VecDeque<M>,
-    background: std::collections::VecDeque<M>,
+pub(crate) struct LinkState<M> {
+    pub(crate) busy: bool,
+    pub(crate) foreground: std::collections::VecDeque<M>,
+    pub(crate) background: std::collections::VecDeque<M>,
 }
 
 impl<M> Default for LinkState<M> {

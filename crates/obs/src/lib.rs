@@ -22,6 +22,8 @@
 //! - [`attrib`] — attribution keys and the normalized record view;
 //! - [`ledger`] — the per-decision [`CostLedger`] with its conservation
 //!   invariant, built live by [`LedgerSink`] or folded from JSONL;
+//! - [`merge`] — deterministic merging of per-shard trace streams for the
+//!   parallel simulator (sorted by a thread-interleaving-independent key);
 //! - [`critical`] — per-query critical-path extraction (queueing vs.
 //!   transit vs. annotation vs. scheduler wait).
 
@@ -38,6 +40,7 @@ pub mod event;
 pub mod hist;
 pub mod json;
 pub mod ledger;
+pub mod merge;
 pub mod sink;
 
 pub use attrib::{LedgerView, PredKey, ViewKind};
@@ -48,4 +51,5 @@ pub use event::{EventKind, TraceRecord};
 pub use hist::Histogram;
 pub use json::{JsonError, JsonValue};
 pub use ledger::{CostLedger, LedgerSink, PredicateWork, QueryCost};
+pub use merge::{MergeKey, ShardMerger};
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, SharedSink, Sink, TeeSink};

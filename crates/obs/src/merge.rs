@@ -1,0 +1,157 @@
+//! Deterministic merging of per-shard trace streams.
+//!
+//! The sharded simulator runs each topology region on its own worker
+//! thread, so trace records are *produced* in a thread-interleaving-
+//! dependent order. To keep the repo's byte-identical-trace invariant,
+//! every record is tagged at the emission site with a [`MergeKey`] that
+//! depends only on simulation state (timestamp, event class, stable event
+//! identity, emission index within the event) — never on which thread
+//! produced it — and a [`ShardMerger`] sorts each barrier window's records
+//! by that key before forwarding them to the real [`Sink`].
+//!
+//! `dde-obs` sits below `dde-netsim` in the crate graph, so the key is a
+//! plain array of integers here; the simulator documents how it packs
+//! event identity into the middle fields.
+
+use crate::event::TraceRecord;
+use crate::sink::Sink;
+
+/// A total order over trace records that is independent of thread
+/// interleaving.
+///
+/// Fields, in comparison order:
+/// `[timestamp_micros, event_class, id_a, id_b, id_c, emit_index]`.
+/// The producer guarantees keys are unique within a run; the merger
+/// debug-asserts this.
+pub type MergeKey = [u64; 6];
+
+/// Collects `(key, record)` pairs from any number of shards and flushes
+/// them to a sink in key order.
+///
+/// The sharded simulator flushes once per barrier window: conservative
+/// lookahead guarantees every record produced *later* carries a timestamp
+/// at or past the window end, so a per-window sort yields the same global
+/// stream a single-threaded run would produce.
+#[derive(Debug, Default)]
+pub struct ShardMerger {
+    pending: Vec<(MergeKey, TraceRecord)>,
+}
+
+impl ShardMerger {
+    /// An empty merger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer one keyed record.
+    pub fn push(&mut self, key: MergeKey, rec: TraceRecord) {
+        self.pending.push((key, rec));
+    }
+
+    /// Buffer a batch of keyed records (e.g. one shard's window output).
+    pub fn absorb(&mut self, batch: Vec<(MergeKey, TraceRecord)>) {
+        self.pending.extend(batch);
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Sort the buffered records by key and forward them to `sink`,
+    /// leaving the buffer empty.
+    ///
+    /// Keys must be unique (checked with a debug assertion): uniqueness is
+    /// what makes the sort a *total* order and the merged stream
+    /// reproducible regardless of the arrival order of shard batches.
+    pub fn flush_into(&mut self, sink: &mut dyn Sink) {
+        // Keys are unique, so the unstable sort is still deterministic.
+        self.pending.sort_unstable_by_key(|entry| entry.0);
+        debug_assert!(
+            self.pending.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate merge keys would make shard merging ambiguous"
+        );
+        for (_, rec) in self.pending.drain(..) {
+            sink.record(&rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::sink::MemorySink;
+    use dde_logic::time::SimTime;
+
+    fn rec(t: u64, node: u32) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_micros(t),
+            node,
+            kind: EventKind::LocalSample {
+                name: "/x".to_string(),
+                query: None,
+            },
+        }
+    }
+
+    #[test]
+    fn merges_interleaved_shard_batches_into_key_order() {
+        let mut merger = ShardMerger::new();
+        // Shard B's batch arrives first even though its records are later.
+        merger.absorb(vec![
+            ([20, 5, 0, 0, 0, 0], rec(20, 1)),
+            ([10, 5, 1, 0, 0, 1], rec(10, 1)),
+        ]);
+        merger.absorb(vec![
+            ([10, 5, 1, 0, 0, 0], rec(10, 0)),
+            ([5, 3, 0, 0, 0, 0], rec(5, 0)),
+        ]);
+        let mut sink = MemorySink::new();
+        merger.flush_into(&mut sink);
+        assert!(merger.is_empty());
+        let ats: Vec<u64> = sink.events().iter().map(|r| r.at.as_micros()).collect();
+        assert_eq!(ats, vec![5, 10, 10, 20]);
+        // The two t=10 records tie-break on emit index: node 0 first.
+        assert_eq!(sink.events()[1].node, 0);
+        assert_eq!(sink.events()[2].node, 1);
+    }
+
+    #[test]
+    fn arrival_order_of_batches_does_not_matter() {
+        let batches = [
+            vec![([3, 0, 0, 0, 0, 0], rec(3, 0))],
+            vec![([1, 0, 0, 0, 0, 0], rec(1, 1))],
+            vec![([2, 0, 0, 0, 0, 0], rec(2, 2))],
+        ];
+        let merged = |order: &[usize]| {
+            let mut merger = ShardMerger::new();
+            for &i in order {
+                merger.absorb(batches[i].clone());
+            }
+            let mut sink = MemorySink::new();
+            merger.flush_into(&mut sink);
+            sink.take()
+        };
+        assert_eq!(merged(&[0, 1, 2]), merged(&[2, 1, 0]));
+        assert_eq!(merged(&[0, 1, 2]), merged(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn flush_is_incremental_per_window() {
+        let mut merger = ShardMerger::new();
+        let mut sink = MemorySink::new();
+        merger.push([2, 0, 0, 0, 0, 0], rec(2, 0));
+        merger.push([1, 0, 0, 0, 0, 0], rec(1, 0));
+        merger.flush_into(&mut sink);
+        merger.push([3, 0, 0, 0, 0, 0], rec(3, 0));
+        merger.flush_into(&mut sink);
+        let ats: Vec<u64> = sink.events().iter().map(|r| r.at.as_micros()).collect();
+        assert_eq!(ats, vec![1, 2, 3]);
+    }
+}

@@ -127,6 +127,22 @@ impl ScenarioConfig {
         }
     }
 
+    /// A city-scale configuration for throughput sweeps: 12×12 grid, 60
+    /// nodes, 120 queries. Roughly 4× the default event volume — big
+    /// enough for parallel speedup measurements to mean something, small
+    /// enough to finish in seconds in release builds.
+    pub fn city() -> ScenarioConfig {
+        ScenarioConfig {
+            grid_rows: 12,
+            grid_cols: 12,
+            node_count: 60,
+            queries_per_node: 2,
+            routes_per_query: 4,
+            radio_range: 5,
+            ..ScenarioConfig::default()
+        }
+    }
+
     /// Sets the seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> ScenarioConfig {
@@ -521,6 +537,21 @@ mod tests {
         // Object sizes in range.
         for o in s.catalog.objects() {
             assert!((100_000..=1_000_000).contains(&o.size));
+        }
+    }
+
+    #[test]
+    fn city_config_builds_connected_and_larger_than_default() {
+        let s = Scenario::build(ScenarioConfig::city().with_seed(3));
+        assert_eq!(s.topology.len(), 60);
+        assert_eq!(s.queries.len(), 120);
+        let mut topo = s.topology.clone();
+        assert!(topo.is_connected());
+        for seg in s.grid.segments() {
+            assert!(
+                !s.catalog.providers_of(&seg.label()).is_empty(),
+                "segment {seg} has no provider"
+            );
         }
     }
 
