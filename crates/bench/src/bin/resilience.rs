@@ -58,6 +58,7 @@ fn sweep_churn(cfg: &HarnessConfig) -> Vec<Vec<Vec<RunReport>>> {
             });
         }
     });
+    // lint: allow(merge-order) — slots are grid-index-keyed; positional drain is the deterministic order
     let mut it = results.into_iter();
     CHURN_RATES
         .iter()

@@ -157,6 +157,7 @@ pub fn sweep_reports(cfg: &HarnessConfig, fast_ratios: &[f64]) -> Vec<Vec<Vec<Ru
     });
 
     // Reassemble in the sequential order.
+    // lint: allow(merge-order) — slots are grid-index-keyed; positional drain is the deterministic order
     let mut it = results.into_iter();
     fast_ratios
         .iter()

@@ -202,6 +202,22 @@ pub struct Config {
     pub test_crates: Vec<String>,
     /// Crates whose non-test code must be panic-free (R4).
     pub library_crates: Vec<String>,
+    /// Region-pinned shard-state crates: no shared-mutable-state
+    /// primitives outside the coordinator allowlist (R5).
+    pub shard_state_crates: Vec<String>,
+    /// Crates whose `Transmit`/`Deliver`/`Loss` constructions must thread
+    /// an attribution key (R6).
+    pub emit_crates: Vec<String>,
+    /// Crates whose event enqueues must use stable key constructors (R7).
+    pub event_key_crates: Vec<String>,
+    /// The stable-key type names R7 protects (struct literals outside the
+    /// type's own `impl` are flagged).
+    pub event_key_types: Vec<String>,
+    /// Crates whose cross-shard result collections must be sorted before
+    /// iteration (R8).
+    pub merge_crates: Vec<String>,
+    /// Field/binding names treated as cross-shard result collections (R8).
+    pub merge_collections: Vec<String>,
     /// Per-rule path allowlists: `path-suffix` or `path-suffix:line`.
     pub allow: BTreeMap<RuleId, Vec<String>>,
 }
@@ -232,6 +248,18 @@ impl Default for Config {
             ]
             .map(String::from)
             .to_vec(),
+            shard_state_crates: ["dde-netsim", "dde-core", "dde-sched", "dde-workload"]
+                .map(String::from)
+                .to_vec(),
+            emit_crates: ["dde-netsim", "dde-core"].map(String::from).to_vec(),
+            event_key_crates: vec!["dde-netsim".into()],
+            event_key_types: vec!["EventKey".into()],
+            merge_crates: ["dde-netsim", "dde-obs", "dde-bench"]
+                .map(String::from)
+                .to_vec(),
+            merge_collections: ["pending", "outbox", "inbox", "results"]
+                .map(String::from)
+                .to_vec(),
             allow: BTreeMap::new(),
         }
     }
@@ -258,11 +286,38 @@ impl Config {
         if let Some(v) = doc.list_value("rules.no-panic", "library_crates") {
             cfg.library_crates = v.to_vec();
         }
+        if let Some(v) = doc.list_value("rules.shard-shared-state", "crates") {
+            cfg.shard_state_crates = v.to_vec();
+        }
+        if let Some(v) = doc.list_value("rules.attribution-key", "emit_crates") {
+            cfg.emit_crates = v.to_vec();
+        }
+        if let Some(v) = doc.list_value("rules.stable-event-key", "crates") {
+            cfg.event_key_crates = v.to_vec();
+        }
+        if let Some(v) = doc.list_value("rules.stable-event-key", "key_types") {
+            cfg.event_key_types = v.to_vec();
+        }
+        if let Some(v) = doc.list_value("rules.merge-order", "crates") {
+            cfg.merge_crates = v.to_vec();
+        }
+        if let Some(v) = doc.list_value("rules.merge-order", "collections") {
+            cfg.merge_collections = v.to_vec();
+        }
         for rule in RuleId::ALL {
             let table = format!("rules.{}", rule.slug());
             if let Some(v) = doc.list_value(&table, "allow") {
                 cfg.allow.insert(rule, v.to_vec());
             }
+        }
+        // The coordinator allowlist is R5's named escape hatch: entries are
+        // ordinary `path-suffix[:line]` allows, kept in their own key so the
+        // config reads as "coordinator-owned shared state", not "ignore".
+        if let Some(v) = doc.list_value("rules.shard-shared-state", "coordinator_allow") {
+            cfg.allow
+                .entry(RuleId::ShardSharedState)
+                .or_default()
+                .extend(v.to_vec());
         }
         Ok(cfg)
     }
@@ -337,6 +392,30 @@ allow = [
             .is_some());
         assert!(cfg
             .allows(RuleId::FloatOrder, "crates/core/src/engine.rs", 99)
+            .is_none());
+    }
+
+    #[test]
+    fn shard_rule_keys_and_coordinator_allow() {
+        let cfg = Config::from_toml_str(
+            "[rules.shard-shared-state]\ncrates = [\"dde-netsim\"]\n\
+             coordinator_allow = [\"src/shard.rs:10\"]\nallow = [\"src/other.rs\"]\n\
+             [rules.merge-order]\ncollections = [\"outbox\"]\n\
+             [rules.stable-event-key]\nkey_types = [\"EventKey\", \"MergeKey\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.shard_state_crates, vec!["dde-netsim"]);
+        assert_eq!(cfg.merge_collections, vec!["outbox"]);
+        assert_eq!(cfg.event_key_types, vec!["EventKey", "MergeKey"]);
+        // `coordinator_allow` entries merge after plain `allow` entries.
+        assert!(cfg
+            .allows(RuleId::ShardSharedState, "crates/netsim/src/shard.rs", 10)
+            .is_some());
+        assert!(cfg
+            .allows(RuleId::ShardSharedState, "crates/netsim/src/other.rs", 3)
+            .is_some());
+        assert!(cfg
+            .allows(RuleId::ShardSharedState, "crates/netsim/src/shard.rs", 11)
             .is_none());
     }
 

@@ -2,7 +2,8 @@
 //! inline `// lint: allow(..)` markers, and the top-level [`run`] entry.
 
 use crate::config::{Config, Toml};
-use crate::report::{Diagnostic, RuleId};
+use crate::report::{Diagnostic, RuleId, RuleStats, StaleAllow};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use syn::{Token, TokenKind};
@@ -37,6 +38,25 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// One inline `// lint: allow(<token>) — <reason>` marker.
+///
+/// A standalone marker (the comment is the first token on its line) covers
+/// the following line; a trailing marker covers only its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Whether the comment is the first token on its line.
+    pub standalone: bool,
+    /// The token inside `allow(..)` (a rule marker token, or a typo).
+    pub token: String,
+    /// The free-text reason after the closing paren.
+    pub reason: String,
+    /// Token index of the comment, used to decide whether the marker sits
+    /// in test code (where rules never fire, so staleness is meaningless).
+    pub tok_idx: usize,
+}
+
 /// A parsed source file with everything the rules need: tokens, test-region
 /// spans, and the inline-marker index.
 #[derive(Debug)]
@@ -52,11 +72,7 @@ pub struct SourceFile {
     /// Half-open `[start, end)` token-index ranges of `#[cfg(test)]` /
     /// `#[test]` items.
     test_regions: Vec<(usize, usize)>,
-    /// `(line, standalone, rule marker token, reason)` from
-    /// `// lint: allow(..)`. A standalone marker (comment is the first
-    /// token on its line) covers the following line; a trailing marker
-    /// covers only its own.
-    markers: Vec<(u32, bool, String, String)>,
+    markers: Vec<Marker>,
 }
 
 impl SourceFile {
@@ -94,12 +110,26 @@ impl SourceFile {
     /// The reason string of an inline `// lint: allow(<rule>)` marker
     /// covering `line` (trailing on the same line, or on the line above).
     pub fn marker_for(&self, rule: RuleId, line: u32) -> Option<&str> {
+        self.marker_lookup(rule, line).map(|(_, reason)| reason)
+    }
+
+    /// Like [`SourceFile::marker_for`], but also returns the marker's index
+    /// into [`SourceFile::markers`], so callers can record which markers
+    /// actually suppressed a finding (stale-allow detection).
+    pub fn marker_lookup(&self, rule: RuleId, line: u32) -> Option<(usize, &str)> {
         self.markers
             .iter()
-            .find(|(l, standalone, tok, _)| {
-                (*l == line || (*standalone && *l + 1 == line)) && tok == rule.marker_token()
+            .enumerate()
+            .find(|(_, m)| {
+                (m.line == line || (m.standalone && m.line + 1 == line))
+                    && m.token == rule.marker_token()
             })
-            .map(|(_, _, _, reason)| reason.as_str())
+            .map(|(i, m)| (i, m.reason.as_str()))
+    }
+
+    /// All inline markers, in source order.
+    pub fn markers(&self) -> &[Marker] {
+        &self.markers
     }
 }
 
@@ -220,10 +250,21 @@ fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
 }
 
 /// Extracts `// lint: allow(<token>) — <reason>` markers from comments.
-fn find_markers(tokens: &[Token]) -> Vec<(u32, bool, String, String)> {
+///
+/// Doc comments (`///`, `//!`, `/** .. */`, `/*! .. */`) are skipped: they
+/// *describe* the marker syntax (rustdoc for the lint itself, rule
+/// messages) rather than apply it, and treating them as markers would make
+/// every such mention a stale allow.
+fn find_markers(tokens: &[Token]) -> Vec<Marker> {
     let mut out = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::Comment {
+            continue;
+        }
+        let is_doc = ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| t.text.starts_with(p));
+        if is_doc && !t.text.starts_with("/**/") {
             continue;
         }
         let standalone = !tokens[..i].iter().any(|p| p.line == t.line);
@@ -243,7 +284,13 @@ fn find_markers(tokens: &[Token]) -> Vec<(u32, bool, String, String)> {
             .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
             .trim()
             .to_string();
-        out.push((t.line, standalone, token, reason));
+        out.push(Marker {
+            line: t.line,
+            standalone,
+            token,
+            reason,
+            tok_idx: i,
+        });
     }
     out
 }
@@ -255,12 +302,30 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// How many `.rs` files were parsed.
     pub files_scanned: usize,
+    /// Allows (inline markers and `lint.toml` entries) that matched no
+    /// finding, in sorted order. Gated on like violations.
+    pub stale_allows: Vec<StaleAllow>,
+    /// Per-rule footer stats, in R1..R8 order.
+    pub stats: Vec<(RuleId, RuleStats)>,
 }
 
 impl LintReport {
     /// Findings not covered by a marker or allowlist entry.
     pub fn violations(&self) -> impl Iterator<Item = &Diagnostic> {
         self.diagnostics.iter().filter(|d| d.is_violation())
+    }
+
+    /// Whether the report should gate (violations or stale allows).
+    pub fn is_clean(&self) -> bool {
+        self.violations().next().is_none() && self.stale_allows.is_empty()
+    }
+
+    /// Zeroes the per-rule timing figures so two runs over identical
+    /// sources render byte-identical reports (`--no-timing`).
+    pub fn strip_timing(&mut self) {
+        for (_, s) in &mut self.stats {
+            s.micros = 0;
+        }
     }
 }
 
@@ -333,6 +398,9 @@ fn find_packages(root: &Path, cfg: &Config) -> Result<Vec<(String, PathBuf)>, En
 pub fn run(root: &Path, cfg: &Config) -> Result<LintReport, EngineError> {
     let mut diagnostics = Vec::new();
     let mut files_scanned = 0usize;
+    let mut stale_allows = Vec::new();
+    let mut used_config: BTreeSet<(RuleId, String)> = BTreeSet::new();
+    let mut stats: BTreeMap<RuleId, RuleStats> = BTreeMap::new();
     for (pkg, dir) in find_packages(root, cfg)? {
         let mut files = Vec::new();
         collect_rs(&dir, &mut files)?;
@@ -360,14 +428,47 @@ pub fn run(root: &Path, cfg: &Config) -> Result<LintReport, EngineError> {
                     }
                 })?;
             files_scanned += 1;
-            diagnostics.extend(crate::rules::check_file(&sf, cfg));
+            let checked = crate::rules::check_file(&sf, cfg, &mut stats);
+            for (rule, entry) in checked.used_config {
+                used_config.insert((rule, entry));
+            }
+            // A marker in test code can never match a finding (rules skip
+            // test regions), so staleness only applies outside them.
+            for (i, m) in sf.markers().iter().enumerate() {
+                if !checked.used_markers.contains(&i) && !sf.in_test(m.tok_idx) {
+                    stale_allows.push(StaleAllow::Marker {
+                        path: sf.path.clone(),
+                        line: m.line,
+                        token: m.token.clone(),
+                    });
+                }
+            }
+            diagnostics.extend(checked.diagnostics);
+        }
+    }
+    for (rule, entries) in &cfg.allow {
+        for entry in entries {
+            if !used_config.contains(&(*rule, entry.clone())) {
+                stale_allows.push(StaleAllow::Config {
+                    rule: *rule,
+                    entry: entry.clone(),
+                });
+            }
         }
     }
     diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    stale_allows.sort();
+    stale_allows.dedup();
+    let stats = RuleId::ALL
+        .iter()
+        .map(|r| (*r, stats.get(r).copied().unwrap_or_default()))
+        .collect();
     Ok(LintReport {
         diagnostics,
         files_scanned,
+        stale_allows,
+        stats,
     })
 }
 

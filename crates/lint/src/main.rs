@@ -1,10 +1,11 @@
-//! `dde-lint` — the workspace determinism & panic-safety gate.
+//! `dde-lint` — the workspace determinism & shard-safety gate.
 //!
 //! ```text
-//! dde-lint [--root DIR] [--config FILE] [--format text|json] [--quiet]
+//! dde-lint [--root DIR] [--config FILE] [--format text|json] [--quiet] [--no-timing]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage/IO/parse error.
+//! Exit codes: `0` clean, `1` violations or stale allows found,
+//! `2` usage/IO/parse error.
 
 // The lint CLI itself reads argv and the cwd; it is a tool, not sim code.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
@@ -23,16 +24,23 @@ struct Args {
     config: Option<PathBuf>,
     format: Format,
     quiet: bool,
+    no_timing: bool,
 }
 
-const USAGE: &str = "usage: dde-lint [--root DIR] [--config FILE] [--format text|json] [--quiet]
+const USAGE: &str =
+    "usage: dde-lint [--root DIR] [--config FILE] [--format text|json] [--quiet] [--no-timing]
 
-Parses every workspace source file and enforces the determinism and
-panic-safety rules (R1 no-hash-state, R2 no-ambient-nondeterminism,
-R3 float-order, R4 no-panic). Configuration and per-rule allowlists are
-read from lint.toml at the workspace root.
+Parses every workspace source file and enforces the determinism,
+panic-safety, and shard-safety rules (R1 no-hash-state,
+R2 no-ambient-nondeterminism, R3 float-order, R4 no-panic,
+R5 shard-shared-state, R6 attribution-key, R7 stable-event-key,
+R8 merge-order). Configuration and per-rule allowlists are read from
+lint.toml at the workspace root. Allowlist entries and inline markers
+that no longer match any finding are reported as stale and gate the
+exit code like violations. --no-timing zeroes the per-rule timing
+footer so two runs over identical sources are byte-identical.
 
-exit codes: 0 clean, 1 violations, 2 error";
+exit codes: 0 clean, 1 violations or stale allows, 2 error";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -40,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         format: Format::Text,
         quiet: false,
+        no_timing: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--quiet" | "-q" => args.quiet = true,
+            "--no-timing" => args.no_timing = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -126,23 +136,36 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match engine::run(&root, &cfg) {
+    let mut report = match engine::run(&root, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("dde-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    if args.no_timing {
+        report.strip_timing();
+    }
     let rendered = match args.format {
-        Format::Text => report::render_text(&report.diagnostics, report.files_scanned),
-        Format::Json => report::render_json(&report.diagnostics, report.files_scanned),
+        Format::Text => report::render_text(
+            &report.diagnostics,
+            report.files_scanned,
+            &report.stale_allows,
+            &report.stats,
+        ),
+        Format::Json => report::render_json(
+            &report.diagnostics,
+            report.files_scanned,
+            &report.stale_allows,
+            &report.stats,
+        ),
     };
-    if !args.quiet || report.violations().next().is_some() {
+    if !args.quiet || !report.is_clean() {
         print!("{rendered}");
     }
-    if report.violations().next().is_some() {
-        ExitCode::from(1)
-    } else {
+    if report.is_clean() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

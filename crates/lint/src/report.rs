@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// One of the four enforced rules.
+/// One of the eight enforced rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// R1: no `HashMap`/`HashSet` state in simulator-state crates.
@@ -13,24 +13,43 @@ pub enum RuleId {
     FloatOrder,
     /// R4: no `unwrap`/`expect` in library non-test code without a marker.
     Panic,
+    /// R5: no shared-mutable-state primitives in region-pinned shard code.
+    ShardSharedState,
+    /// R6: `Transmit`/`Deliver`/`Loss` records must thread an attribution
+    /// key.
+    AttributionKey,
+    /// R7: event enqueues in sharded code go through the stable `EventKey`
+    /// constructors.
+    StableEventKey,
+    /// R8: no iteration over cross-shard result collections without a
+    /// preceding deterministic sort.
+    MergeOrder,
 }
 
 impl RuleId {
-    /// All rules, in R1..R4 order.
-    pub const ALL: [RuleId; 4] = [
+    /// All rules, in R1..R8 order.
+    pub const ALL: [RuleId; 8] = [
         RuleId::HashState,
         RuleId::AmbientNondeterminism,
         RuleId::FloatOrder,
         RuleId::Panic,
+        RuleId::ShardSharedState,
+        RuleId::AttributionKey,
+        RuleId::StableEventKey,
+        RuleId::MergeOrder,
     ];
 
-    /// Short code, `R1`..`R4`.
+    /// Short code, `R1`..`R8`.
     pub fn code(self) -> &'static str {
         match self {
             RuleId::HashState => "R1",
             RuleId::AmbientNondeterminism => "R2",
             RuleId::FloatOrder => "R3",
             RuleId::Panic => "R4",
+            RuleId::ShardSharedState => "R5",
+            RuleId::AttributionKey => "R6",
+            RuleId::StableEventKey => "R7",
+            RuleId::MergeOrder => "R8",
         }
     }
 
@@ -42,6 +61,10 @@ impl RuleId {
             RuleId::AmbientNondeterminism => "no-ambient-nondeterminism",
             RuleId::FloatOrder => "float-order",
             RuleId::Panic => "no-panic",
+            RuleId::ShardSharedState => "shard-shared-state",
+            RuleId::AttributionKey => "attribution-key",
+            RuleId::StableEventKey => "stable-event-key",
+            RuleId::MergeOrder => "merge-order",
         }
     }
 
@@ -52,6 +75,10 @@ impl RuleId {
             RuleId::AmbientNondeterminism => "nondeterminism",
             RuleId::FloatOrder => "float-order",
             RuleId::Panic => "panic",
+            RuleId::ShardSharedState => "shared-state",
+            RuleId::AttributionKey => "attribution",
+            RuleId::StableEventKey => "event-key",
+            RuleId::MergeOrder => "merge-order",
         }
     }
 }
@@ -104,6 +131,56 @@ impl Diagnostic {
     }
 }
 
+/// An allow that no longer matches any finding. Stale allows are gated on
+/// exactly like violations: a suppression without a matching finding is a
+/// hole waiting for the next refactor to widen.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StaleAllow {
+    /// An inline `// lint: allow(<token>)` marker that covered nothing.
+    Marker {
+        /// Workspace-relative path of the file holding the marker.
+        path: String,
+        /// 1-based line of the marker comment.
+        line: u32,
+        /// The token inside `allow(..)` — possibly an unknown rule name.
+        token: String,
+    },
+    /// A `lint.toml` allowlist entry that matched no finding.
+    Config {
+        /// The rule whose table held the entry.
+        rule: RuleId,
+        /// The entry text (`path-suffix` or `path-suffix:line`).
+        entry: String,
+    },
+}
+
+impl fmt::Display for StaleAllow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaleAllow::Marker { path, line, token } => write!(
+                f,
+                "{path}:{line}: stale inline marker `lint: allow({token})` — no finding matches"
+            ),
+            StaleAllow::Config { rule, entry } => write!(
+                f,
+                "lint.toml: stale allow entry `{entry}` under rules.{} — no finding matches",
+                rule.slug()
+            ),
+        }
+    }
+}
+
+/// Per-rule execution statistics for the report footer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Files the rule actually ran on (scope-filtered, so R1's count is
+    /// the state-crate file count, not the workspace's).
+    pub files_checked: usize,
+    /// Wall-clock time spent in the rule pass, in microseconds. Zeroed by
+    /// `--no-timing` so the report bytes are reproducible.
+    pub micros: u64,
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
@@ -144,15 +221,49 @@ fn diag_json(d: &Diagnostic) -> String {
     format!("{{{}}}", fields.join(","))
 }
 
-/// Renders the full report as deterministic, line-oriented JSON: violations,
-/// the allowlist inventory (R4's machine-readable allow report), and
-/// per-rule summary counts.
-pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+fn stale_json(s: &StaleAllow) -> String {
+    match s {
+        StaleAllow::Marker { path, line, token } => format!(
+            "{{\"kind\":\"marker\",\"path\":\"{}\",\"line\":{},\"token\":\"{}\"}}",
+            json_escape(path),
+            line,
+            json_escape(token)
+        ),
+        StaleAllow::Config { rule, entry } => format!(
+            "{{\"kind\":\"config\",\"rule\":\"{}\",\"entry\":\"{}\"}}",
+            rule.code(),
+            json_escape(entry)
+        ),
+    }
+}
+
+fn push_json_array(out: &mut String, key: &str, items: &[String], last: bool) {
+    out.push_str(&format!("  \"{key}\": [\n"));
+    for (i, item) in items.iter().enumerate() {
+        let sep = if i + 1 < items.len() { "," } else { "" };
+        out.push_str(&format!("    {item}{sep}\n"));
+    }
+    out.push_str(if last { "  ]\n" } else { "  ],\n" });
+}
+
+/// Renders the full report as deterministic, line-oriented JSON:
+/// violations, the allowlist inventory (the machine-readable allow report
+/// with per-site reasons), stale allows, per-rule summary counts, and the
+/// per-rule timing/file-count footer. Everything except the `timing`
+/// micros values is a pure function of the scanned sources, and those are
+/// zeroed when the caller disables timing — so CI can byte-compare two
+/// `--no-timing` reports.
+pub fn render_json(
+    diags: &[Diagnostic],
+    files_scanned: usize,
+    stale: &[StaleAllow],
+    stats: &[(RuleId, RuleStats)],
+) -> String {
     let violations: Vec<&Diagnostic> = diags.iter().filter(|d| d.is_violation()).collect();
     let allowed: Vec<&Diagnostic> = diags.iter().filter(|d| !d.is_violation()).collect();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     let summary: Vec<String> = RuleId::ALL
         .iter()
@@ -168,23 +279,36 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
         })
         .collect();
     out.push_str(&format!("  \"summary\": {{{}}},\n", summary.join(",")));
-    out.push_str("  \"violations\": [\n");
-    for (i, d) in violations.iter().enumerate() {
-        let sep = if i + 1 < violations.len() { "," } else { "" };
-        out.push_str(&format!("    {}{}\n", diag_json(d), sep));
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"allowed\": [\n");
-    for (i, d) in allowed.iter().enumerate() {
-        let sep = if i + 1 < allowed.len() { "," } else { "" };
-        out.push_str(&format!("    {}{}\n", diag_json(d), sep));
-    }
-    out.push_str("  ]\n}\n");
+    let timing: Vec<String> = stats
+        .iter()
+        .map(|(r, s)| {
+            format!(
+                "\"{}\":{{\"files_checked\":{},\"micros\":{}}}",
+                r.code(),
+                s.files_checked,
+                s.micros
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"timing\": {{{}}},\n", timing.join(",")));
+    let vio: Vec<String> = violations.iter().map(|d| diag_json(d)).collect();
+    push_json_array(&mut out, "violations", &vio, false);
+    let alw: Vec<String> = allowed.iter().map(|d| diag_json(d)).collect();
+    push_json_array(&mut out, "allowed", &alw, false);
+    let stl: Vec<String> = stale.iter().map(stale_json).collect();
+    push_json_array(&mut out, "stale_allows", &stl, true);
+    out.push_str("}\n");
     out
 }
 
-/// Renders the report as human-oriented text.
-pub fn render_text(diags: &[Diagnostic], files_scanned: usize) -> String {
+/// Renders the report as human-oriented text, ending with the per-rule
+/// footer and the summary line.
+pub fn render_text(
+    diags: &[Diagnostic],
+    files_scanned: usize,
+    stale: &[StaleAllow],
+    stats: &[(RuleId, RuleStats)],
+) -> String {
     let mut out = String::new();
     let mut violations = 0usize;
     let mut allowed = 0usize;
@@ -221,8 +345,18 @@ pub fn render_text(diags: &[Diagnostic], files_scanned: usize) -> String {
             }
         }
     }
+    for s in stale {
+        out.push_str(&format!("{s}\n"));
+    }
+    for (rule, s) in stats {
+        out.push_str(&format!(
+            "per-rule: {rule}: {} file(s) checked, {} µs\n",
+            s.files_checked, s.micros
+        ));
+    }
     out.push_str(&format!(
-        "dde-lint: {files_scanned} files scanned, {violations} violation(s), {allowed} allowed\n"
+        "dde-lint: {files_scanned} files scanned, {violations} violation(s), {allowed} allowed, {} stale allow(s)\n",
+        stale.len()
     ));
     out
 }
@@ -254,18 +388,45 @@ mod tests {
                 }),
             ),
         ];
-        let json = render_json(&diags, 2);
+        let stale = vec![StaleAllow::Config {
+            rule: RuleId::Panic,
+            entry: "src/gone.rs:9".into(),
+        }];
+        let stats = vec![(
+            RuleId::Panic,
+            RuleStats {
+                files_checked: 2,
+                micros: 0,
+            },
+        )];
+        let json = render_json(&diags, 2, &stale, &stats);
         assert!(json.contains("\"files_scanned\": 2"));
         assert!(json.contains("no panics \\\"here\\\""));
         assert!(json.contains("\"allowed_by\":\"marker\""));
         assert!(json.contains("\"R4\":{\"violations\":1,\"allowed\":1}"));
+        assert!(json.contains("\"kind\":\"config\""));
+        assert!(json.contains("\"R4\":{\"files_checked\":2,\"micros\":0}"));
     }
 
     #[test]
-    fn text_report_counts() {
+    fn text_report_counts_and_footer() {
         let diags = vec![diag(RuleId::FloatOrder, None)];
-        let text = render_text(&diags, 1);
+        let stale = vec![StaleAllow::Marker {
+            path: "crates/x/src/lib.rs".into(),
+            line: 40,
+            token: "panic".into(),
+        }];
+        let stats = vec![(
+            RuleId::FloatOrder,
+            RuleStats {
+                files_checked: 1,
+                micros: 7,
+            },
+        )];
+        let text = render_text(&diags, 1, &stale, &stats);
         assert!(text.contains("R3/float-order"));
-        assert!(text.contains("1 violation(s), 0 allowed"));
+        assert!(text.contains("1 violation(s), 0 allowed, 1 stale allow(s)"));
+        assert!(text.contains("stale inline marker `lint: allow(panic)`"));
+        assert!(text.contains("per-rule: R3/float-order: 1 file(s) checked, 7 µs"));
     }
 }

@@ -1,0 +1,19 @@
+//! R5 positive fixture: every shared-mutable-state primitive the rule
+//! must flag, checked as non-test code of a shard-state crate.
+
+use std::sync::Mutex as Lock;
+use std::sync::RwLock;
+
+static mut EVENT_COUNT: u64 = 0;
+
+thread_local! {
+    static SCRATCH: Vec<u8> = Vec::new();
+}
+
+pub struct ShardState {
+    lock: Lock<u64>,
+    table: RwLock<Vec<u8>>,
+    refs: std::rc::Rc<u8>,
+    cell: std::cell::RefCell<u8>,
+    counter: std::sync::atomic::AtomicU64,
+}

@@ -1,0 +1,22 @@
+//! R5 negative fixture: shard-local owned state and coordinator exchange
+//! channels, none of which the rule may flag.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+static WINDOW_LIMIT: u64 = 1_000;
+
+pub struct ShardState {
+    topology: Arc<Vec<u32>>,
+    queues: BTreeMap<u64, Vec<u8>>,
+    tx: mpsc::Sender<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use whatever synchronization it likes.
+    use std::sync::Mutex;
+
+    static HARNESS: Mutex<u32> = Mutex::new(0);
+}

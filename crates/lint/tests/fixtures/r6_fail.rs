@@ -1,0 +1,26 @@
+//! R6 positive fixture: wire-level records that fail to thread an
+//! attribution key — one missing `query`, one hard-coded `None`, one
+//! reached through an imported variant name.
+
+use dde_obs::EventKind;
+use dde_obs::EventKind::Loss;
+
+pub fn emit_transmit(ctx: &mut Ctx, from: u32, to: u32) {
+    ctx.emit(EventKind::Transmit {
+        from,
+        to,
+        bytes: 64,
+    });
+}
+
+pub fn emit_deliver(ctx: &mut Ctx, from: u32, to: u32) {
+    ctx.emit(EventKind::Deliver {
+        from,
+        to,
+        query: None,
+    });
+}
+
+pub fn emit_loss(ctx: &mut Ctx, from: u32, to: u32) {
+    ctx.emit(Loss { from, to });
+}

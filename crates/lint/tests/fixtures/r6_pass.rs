@@ -1,0 +1,28 @@
+//! R6 negative fixture: attributed emits, shorthand fields, match
+//! patterns, and same-named variants of unrelated enums.
+
+use dde_obs::EventKind;
+
+pub fn emit_attributed(ctx: &mut Ctx, msg: &WireMsg, from: u32, to: u32) {
+    ctx.emit(EventKind::Transmit {
+        from,
+        to,
+        bytes: msg.size_bytes(),
+        query: msg.attribution(),
+    });
+}
+
+pub fn emit_shorthand(ctx: &mut Ctx, from: u32, to: u32, query: Option<u64>) {
+    ctx.emit(EventKind::Loss { from, to, query });
+}
+
+pub fn classify(kind: &EventKind) -> bool {
+    // Destructuring patterns are reads, not emit sites.
+    matches!(kind, EventKind::Deliver { query: Some(_), .. })
+}
+
+pub fn internal_event(to: u32, from: u32) -> REvent {
+    // `REvent::Deliver` is the shard-internal event enum, not a trace
+    // record; it carries no attribution by design.
+    REvent::Deliver { to, from, msg: () }
+}

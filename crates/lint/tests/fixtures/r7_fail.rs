@@ -1,0 +1,18 @@
+//! R7 positive fixture: a raw `EventKey` literal outside `impl EventKey`
+//! and a raw timestamp-tuple heap push.
+
+pub fn schedule_deliver(heap: &mut BinaryHeap<RScheduled>, at: u64, from: u64, to: u64) {
+    heap.push(RScheduled {
+        at,
+        key: EventKey {
+            class: 5,
+            a: from,
+            b: to,
+            c: 0,
+        },
+    });
+}
+
+pub fn schedule_raw(event_heap: &mut BinaryHeap<(u64, u64)>, at: u64, node: u64) {
+    event_heap.push((at, node));
+}

@@ -1,0 +1,32 @@
+//! R7 negative fixture: the key type's declaration and constructors, a
+//! constructor call site, and a destructuring read.
+
+pub struct EventKey {
+    pub class: u64,
+    pub a: u64,
+    pub b: u64,
+    pub c: u64,
+}
+
+impl EventKey {
+    pub fn deliver(from: u64, to: u64, txn: u64) -> EventKey {
+        EventKey {
+            class: 5,
+            a: from,
+            b: to,
+            c: txn,
+        }
+    }
+}
+
+pub fn schedule_deliver(heap: &mut BinaryHeap<RScheduled>, at: u64, from: u64, to: u64) {
+    heap.push(RScheduled {
+        at,
+        key: EventKey::deliver(from, to, 0),
+    });
+}
+
+pub fn class_of(key: &EventKey) -> u64 {
+    let EventKey { class, .. } = key;
+    *class
+}

@@ -1,0 +1,24 @@
+//! R8 positive fixture: cross-shard collections drained or iterated with
+//! no preceding sort in the same function.
+
+pub fn flush(pending: &mut Vec<(u64, Record)>, sink: &mut Sink) {
+    for (_, rec) in pending.drain(..) {
+        sink.record(&rec);
+    }
+}
+
+pub struct Coordinator {
+    outbox: Vec<Delivery>,
+}
+
+impl Coordinator {
+    pub fn route(&mut self) {
+        for cd in self.outbox.iter() {
+            deliver(cd);
+        }
+    }
+}
+
+pub fn reassemble(results: Vec<Report>) -> Vec<Report> {
+    results.into_iter().collect()
+}

@@ -1,0 +1,30 @@
+//! R8 negative fixture: the same merge points with a deterministic sort
+//! before iteration, plus an unrelated collection name.
+
+pub fn flush(pending: &mut Vec<(u64, Record)>, sink: &mut Sink) {
+    pending.sort_unstable_by_key(|entry| entry.0);
+    for (_, rec) in pending.drain(..) {
+        sink.record(&rec);
+    }
+}
+
+pub struct Coordinator {
+    outbox: Vec<Delivery>,
+}
+
+impl Coordinator {
+    pub fn route(&mut self) {
+        self.outbox.sort_by_key(|cd| (cd.at, cd.from, cd.to));
+        for cd in self.outbox.iter() {
+            deliver(cd);
+        }
+    }
+}
+
+pub fn consume(items: Vec<u64>) -> u64 {
+    let mut total = 0;
+    for i in items.into_iter() {
+        total += i;
+    }
+    total
+}

@@ -42,6 +42,31 @@ fn workspace_has_no_unallowed_violations() {
         "workspace must be lint-clean under the shipped lint.toml:\n{}",
         violations.join("\n")
     );
+
+    // The allowlist must also be live: every `lint.toml` entry and every
+    // inline marker still suppresses at least one finding. Stale allows
+    // are how suppressions outlive the code they excused.
+    let stale: Vec<String> = report.stale_allows.iter().map(|s| s.to_string()).collect();
+    assert!(
+        stale.is_empty(),
+        "stale allow entries must be pruned:\n{}",
+        stale.join("\n")
+    );
+    assert!(report.is_clean(), "report must be clean end to end");
+
+    // Structural passes R5-R8 actually ran over their scoped crates.
+    for (rule, stats) in &report.stats {
+        use dde_lint::RuleId::*;
+        if matches!(
+            rule,
+            ShardSharedState | AttributionKey | StableEventKey | MergeOrder
+        ) {
+            assert!(
+                stats.files_checked > 0,
+                "{rule:?} checked no files; structural scoping is broken"
+            );
+        }
+    }
 }
 
 #[test]

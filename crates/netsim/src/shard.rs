@@ -96,6 +96,89 @@ impl EventKey {
     fn merge_key(&self, at: SimTime, emit: u64) -> MergeKey {
         [at.as_micros(), self.class, self.a, self.b, self.c, emit]
     }
+
+    /// Key for a node's start event.
+    pub fn start(node: NodeId) -> EventKey {
+        EventKey {
+            class: CLASS_START,
+            a: node.index() as u64,
+            b: 0,
+            c: 0,
+        }
+    }
+
+    /// Key for a coordinator-side fault record, identified by install
+    /// index alone.
+    pub fn fault_global(idx: u64) -> EventKey {
+        EventKey {
+            class: CLASS_FAULT,
+            a: idx,
+            b: 0,
+            c: 0,
+        }
+    }
+
+    /// Key for a delegated link-purge fault action.
+    pub fn fault_purge(idx: u64, from: NodeId, to: NodeId) -> EventKey {
+        EventKey {
+            class: CLASS_FAULT,
+            a: idx,
+            b: from.index() as u64 + 1,
+            c: to.index() as u64 + 1,
+        }
+    }
+
+    /// Key for a delegated node-recovery fault action.
+    pub fn fault_recover(idx: u64, node: NodeId) -> EventKey {
+        EventKey {
+            class: CLASS_FAULT,
+            a: idx,
+            b: 0,
+            c: node.index() as u64 + 1,
+        }
+    }
+
+    /// Key for an external stimulus, identified by install index.
+    pub fn external(idx: u64) -> EventKey {
+        EventKey {
+            class: CLASS_EXTERNAL,
+            a: idx,
+            b: 0,
+            c: 0,
+        }
+    }
+
+    /// Key for a node-owned timer, identified by the per-node sequence.
+    pub fn timer(node: NodeId, seq: u64) -> EventKey {
+        EventKey {
+            class: CLASS_TIMER,
+            a: node.index() as u64,
+            b: seq,
+            c: 0,
+        }
+    }
+
+    /// Key for a link-free event, identified by the per-link
+    /// transmission sequence.
+    pub fn link_free(from: NodeId, to: NodeId, txn: u64) -> EventKey {
+        EventKey {
+            class: CLASS_LINK_FREE,
+            a: from.index() as u64,
+            b: to.index() as u64,
+            c: txn,
+        }
+    }
+
+    /// Key for a message delivery, identified by the per-link
+    /// transmission sequence.
+    pub fn deliver(from: NodeId, to: NodeId, txn: u64) -> EventKey {
+        EventKey {
+            class: CLASS_DELIVER,
+            a: from.index() as u64,
+            b: to.index() as u64,
+            c: txn,
+        }
+    }
 }
 
 /// Stateless counter-based loss draw in `[0, 1)`: a splitmix64 chain over
@@ -264,7 +347,7 @@ impl<P: Protocol> Region<P> {
         }
     }
 
-    fn run_window(&mut self, cmd: WindowCmd<P>) -> WindowOut<P::Msg> {
+    fn run_window(&mut self, mut cmd: WindowCmd<P>) -> WindowOut<P::Msg> {
         self.topology = cmd.topology;
         self.node_up = cmd.node_up;
         self.window_end = cmd.end;
@@ -275,16 +358,17 @@ impl<P: Protocol> Region<P> {
         for action in cmd.actions {
             self.apply_action(cmd.start, action);
         }
+        // Inbox batches are concatenated in region order by the
+        // coordinator; re-sorting by the stable identity makes the heap's
+        // input independent of that assembly order (R8). Dispatch order is
+        // already fixed by the heap's `(at, key)` ordering either way.
+        cmd.inbox
+            .sort_by_key(|m| (m.at, m.from.index(), m.to.index(), m.txn));
         for inc in cmd.inbox {
             debug_assert!(inc.at >= cmd.start, "boundary delivery arrived late");
             self.heap.push(RScheduled {
                 at: inc.at,
-                key: EventKey {
-                    class: CLASS_DELIVER,
-                    a: inc.from.index() as u64,
-                    b: inc.to.index() as u64,
-                    c: inc.txn,
-                },
+                key: EventKey::deliver(inc.from, inc.to, inc.txn),
                 event: REvent::Deliver {
                     to: inc.to,
                     from: inc.from,
@@ -314,27 +398,11 @@ impl<P: Protocol> Region<P> {
         self.now = at;
         match action {
             FaultAction::Purge { idx, from, to } => {
-                self.sink.begin(
-                    at,
-                    EventKey {
-                        class: CLASS_FAULT,
-                        a: idx,
-                        b: from.index() as u64 + 1,
-                        c: to.index() as u64 + 1,
-                    },
-                );
+                self.sink.begin(at, EventKey::fault_purge(idx, from, to));
                 self.purge_link_queues(from, to);
             }
             FaultAction::Recover { idx, node } => {
-                self.sink.begin(
-                    at,
-                    EventKey {
-                        class: CLASS_FAULT,
-                        a: idx,
-                        b: 0,
-                        c: node.index() as u64 + 1,
-                    },
-                );
+                self.sink.begin(at, EventKey::fault_recover(idx, node));
                 let mut commands = Vec::new();
                 {
                     let mut ctx = Context::new(
@@ -457,12 +525,7 @@ impl<P: Protocol> Region<P> {
                     self.timer_seq[node_id.index()] += 1;
                     self.heap.push(RScheduled {
                         at,
-                        key: EventKey {
-                            class: CLASS_TIMER,
-                            a: node_id.index() as u64,
-                            b: seq,
-                            c: 0,
-                        },
+                        key: EventKey::timer(node_id, seq),
                         event: REvent::Timer { node: node_id, tag },
                     });
                 }
@@ -518,12 +581,7 @@ impl<P: Protocol> Region<P> {
             if self.region_of[to.index()] == self.id {
                 self.heap.push(RScheduled {
                     at: arrival,
-                    key: EventKey {
-                        class: CLASS_DELIVER,
-                        a: from.index() as u64,
-                        b: to.index() as u64,
-                        c: txn,
-                    },
+                    key: EventKey::deliver(from, to, txn),
                     event: REvent::Deliver { to, from, msg },
                 });
             } else {
@@ -553,12 +611,7 @@ impl<P: Protocol> Region<P> {
         }
         self.heap.push(RScheduled {
             at: depart,
-            key: EventKey {
-                class: CLASS_LINK_FREE,
-                a: from.index() as u64,
-                b: to.index() as u64,
-                c: txn,
-            },
+            key: EventKey::link_free(from, to, txn),
             event: REvent::LinkFree { from, to },
         });
     }
@@ -697,12 +750,7 @@ impl<P: Protocol> ShardedSimulator<P> {
                 owned[node.index()] = slots[node.index()].take();
                 heap.push(RScheduled {
                     at: SimTime::ZERO,
-                    key: EventKey {
-                        class: CLASS_START,
-                        a: node.index() as u64,
-                        b: 0,
-                        c: 0,
-                    },
+                    key: EventKey::start(*node),
                     event: REvent::Start { node: *node },
                 });
             }
@@ -818,12 +866,7 @@ impl<P: Protocol> ShardedSimulator<P> {
         let region = self.partition.region_of(node);
         self.regions[region].heap.push(RScheduled {
             at,
-            key: EventKey {
-                class: CLASS_EXTERNAL,
-                a: idx,
-                b: 0,
-                c: 0,
-            },
+            key: EventKey::external(idx),
             event: REvent::External { node, ext },
         });
     }
@@ -875,12 +918,7 @@ impl<P: Protocol> ShardedSimulator<P> {
     /// Emits a coordinator-side fault record into the merge buffer.
     fn emit_fault(&mut self, at: SimTime, idx: u64, node: NodeId, kind: EventKind) {
         if self.sink.enabled() {
-            let key = EventKey {
-                class: CLASS_FAULT,
-                a: idx,
-                b: 0,
-                c: 0,
-            };
+            let key = EventKey::fault_global(idx);
             self.merger.push(
                 key.merge_key(at, 0),
                 TraceRecord {
@@ -1064,9 +1102,14 @@ impl<P: Protocol> ShardedSimulator<P> {
     }
 
     /// Folds one region's window output back into coordinator state.
-    fn collect_out(&mut self, out: WindowOut<P::Msg>, region_next: &mut [Option<SimTime>]) {
+    fn collect_out(&mut self, mut out: WindowOut<P::Msg>, region_next: &mut [Option<SimTime>]) {
         region_next[out.region as usize] = out.next_at;
         self.events_processed += out.events;
+        // One region's outbox is produced in its own deterministic event
+        // order, but sorting by the stable delivery identity here means
+        // the inbox contents never depend on emission order at all (R8).
+        out.outbox
+            .sort_by_key(|m| (m.at, m.from.index(), m.to.index(), m.txn));
         for cd in out.outbox {
             let region = self.partition.region_of(cd.to);
             self.inboxes[region].push(cd);

@@ -961,6 +961,10 @@ impl<P: Protocol> Simulator<P> {
 
 #[cfg(test)]
 mod tests {
+    // Tests capture observations in thread-local RefCells; test code is
+    // outside the shard-safety envelope.
+    #![allow(clippy::disallowed_types)]
+
     use super::*;
     use crate::topology::LinkSpec;
 

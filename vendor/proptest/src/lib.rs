@@ -15,6 +15,9 @@
 //! buys full determinism, which the simulator work requires.
 
 #![warn(missing_docs)]
+// Third-party API surface by construction: upstream proptest's BoxedStrategy
+// is Rc-based, and this stand-in only runs inside tests.
+#![allow(clippy::disallowed_types)]
 
 pub mod test_runner {
     //! Runner configuration and failure type.
