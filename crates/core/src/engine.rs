@@ -320,8 +320,10 @@ fn run_scenario_sharded_inner(
     report
 }
 
-/// Builds the world + config shared by every node of a run.
-fn build_shared_world(scenario: &Scenario, options: &RunOptions) -> Arc<SharedWorld> {
+/// Builds the world + config shared by every node of a run. Public so
+/// alternative engines (the `dde-net` live-transport host) assemble node
+/// state exactly as the DES entry points do.
+pub fn build_shared_world(scenario: &Scenario, options: &RunOptions) -> Arc<SharedWorld> {
     let mut config = NodeConfig::new(options.strategy);
     config.prefetch = options.prefetch;
     config.trust = options.trust.clone();
@@ -342,7 +344,7 @@ fn build_shared_world(scenario: &Scenario, options: &RunOptions) -> Arc<SharedWo
 }
 
 /// One Athena node per topology node, all sharing `shared` + `annotator`.
-fn build_nodes(
+pub fn build_nodes(
     scenario: &Scenario,
     shared: &Arc<SharedWorld>,
     annotator: &Arc<dyn Annotator + Send + Sync>,
@@ -420,10 +422,10 @@ fn collect_report(
     )
 }
 
-/// Engine-agnostic report assembly: the classic and sharded simulators
-/// both reduce to the same `(metrics, clock, event count, node states)`
-/// observables.
-fn collect_report_parts(
+/// Engine-agnostic report assembly: the classic and sharded simulators —
+/// and the `dde-net` live-transport host — all reduce to the same
+/// `(metrics, clock, event count, node states)` observables.
+pub fn collect_report_parts(
     metrics: &Metrics,
     finished_at: SimTime,
     events: u64,

@@ -47,8 +47,9 @@ pub use annotate::{
     TrustPolicy,
 };
 pub use engine::{
-    run_all_strategies, run_scenario, run_scenario_observed, run_scenario_sharded,
-    run_scenario_sharded_observed, run_scenario_with_annotator, QueryRecord, RunOptions, RunReport,
+    build_nodes, build_shared_world, collect_report_parts, run_all_strategies, run_scenario,
+    run_scenario_observed, run_scenario_sharded, run_scenario_sharded_observed,
+    run_scenario_with_annotator, QueryRecord, RunOptions, RunReport,
 };
 pub use msg::{AthenaMsg, QueryId, RequestKind};
 pub use node::{AthenaEvent, AthenaNode, CachedLabel, NodeConfig, NodeStats, SharedWorld};

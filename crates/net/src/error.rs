@@ -1,0 +1,137 @@
+//! Typed transport errors.
+//!
+//! Every failure a [`crate::Transport`] backend can hit is represented
+//! here — the trait surface never panics, so a routing race, a malformed
+//! frame, or a dead peer degrades to an error the host can count and keep
+//! running through (exactly what `dde-netsim` does with its `Drop` trace
+//! records).
+
+use crate::frame::FrameError;
+use dde_netsim::{NodeId, SendError};
+
+/// Any failure raised by a transport backend.
+#[derive(Debug)]
+pub enum NetError {
+    /// The destination is not adjacent to the sending node. The Athena
+    /// protocol is hop-by-hop; this is the live-transport surfacing of
+    /// [`dde_netsim::SendError::NotNeighbor`].
+    NotNeighbor {
+        /// The node that attempted the send.
+        from: NodeId,
+        /// The non-adjacent destination.
+        to: NodeId,
+    },
+    /// The destination has no known address (not part of the cluster's
+    /// address book).
+    UnknownPeer {
+        /// The unresolvable destination.
+        peer: NodeId,
+    },
+    /// Wire-frame encoding or decoding failed.
+    Frame(FrameError),
+    /// An operating-system I/O error, tagged with what the transport was
+    /// doing at the time.
+    Io {
+        /// What the transport was doing (`"connect"`, `"write"`, …).
+        context: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The connection to a peer closed (or could not be established
+    /// within the retry budget).
+    PeerUnavailable {
+        /// The peer that is gone.
+        peer: NodeId,
+    },
+    /// The transport has been shut down; no further traffic is possible.
+    Shutdown,
+    /// A cluster node host terminated abnormally (its thread panicked or
+    /// its outcome was lost).
+    HostFailed {
+        /// The node whose host died.
+        node: NodeId,
+    },
+    /// The requested feature is not available on this backend (e.g. fault
+    /// schedules on the TCP cluster — fault injection belongs to the
+    /// DES).
+    Unsupported {
+        /// What was asked for.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NotNeighbor { from, to } => {
+                write!(f, "{from} attempted to send to non-neighbor {to}")
+            }
+            NetError::UnknownPeer { peer } => write!(f, "no address known for {peer}"),
+            NetError::Frame(e) => write!(f, "wire frame error: {e}"),
+            NetError::Io { context, source } => write!(f, "i/o error during {context}: {source}"),
+            NetError::PeerUnavailable { peer } => write!(f, "peer {peer} unavailable"),
+            NetError::Shutdown => write!(f, "transport is shut down"),
+            NetError::HostFailed { node } => write!(f, "node host for {node} failed"),
+            NetError::Unsupported { what } => {
+                write!(f, "not supported on this backend: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Frame(e) => Some(e),
+            NetError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> NetError {
+        NetError::Frame(e)
+    }
+}
+
+impl From<SendError> for NetError {
+    fn from(e: SendError) -> NetError {
+        match e {
+            SendError::NotNeighbor { from, to } => NetError::NotNeighbor { from, to },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sim_send_error() {
+        let e: NetError = SendError::NotNeighbor {
+            from: NodeId(0),
+            to: NodeId(2),
+        }
+        .into();
+        assert!(matches!(
+            e,
+            NetError::NotNeighbor {
+                from: NodeId(0),
+                to: NodeId(2)
+            }
+        ));
+        assert!(e.to_string().contains("non-neighbor"));
+    }
+
+    #[test]
+    fn io_error_keeps_source() {
+        use std::error::Error as _;
+        let e = NetError::Io {
+            context: "connect",
+            source: std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused"),
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("connect"));
+    }
+}

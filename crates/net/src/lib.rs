@@ -1,0 +1,58 @@
+//! # dde-net — pluggable transport layer for Athena nodes
+//!
+//! The paper specifies Athena (§V–§VI) as a distributed node protocol, but
+//! the reproduction originally welded that protocol to `dde-netsim`'s
+//! in-process discrete-event simulator. This crate puts the link layer
+//! behind an injectable seam so the *same* [`dde_core::AthenaNode`] state
+//! machine can run either inside the verified simulator or as a real
+//! networked process:
+//!
+//! - [`transport`] — the [`Transport`] trait: per-node `send_to` /
+//!   `broadcast` / `local_now` / message-handler registration with typed
+//!   [`NetError`]s (no panics on any input);
+//! - [`frame`] — hand-rolled length-prefixed binary wire frames for
+//!   [`dde_core::AthenaMsg`], including the observational attribution
+//!   keys; decoding rejects truncated, oversized, and malformed frames
+//!   with typed errors, never a panic;
+//! - [`des`] — [`DesTransport`], the deterministic test double: it
+//!   delegates to the existing `run_scenario*` entry points, so every
+//!   byte of the committed traces, reports, and determinism suites is
+//!   pinned by construction (the DES remains the oracle);
+//! - [`tcp`] — [`TcpTransport`], a production backend on `std::net`
+//!   (threaded accept/reader loops, length-prefixed frames, connect
+//!   retry with capped backoff — no external async runtime);
+//! - [`host`] — [`NodeHost`], the live runtime that drives one
+//!   `AthenaNode` over any [`Transport`] with a scaled virtual clock and
+//!   a timer wheel, plus [`run_cluster_tcp`], which boots a loopback
+//!   cluster of node threads from a [`dde_workload::scenario::Scenario`]
+//!   and folds per-node outcomes into a [`dde_core::RunReport`].
+//!
+//! The DES backend is byte-deterministic; the TCP backend is not (thread
+//! scheduling and wall-clock jitter reorder deliveries). What carries
+//! across the boundary is the *decision-driven* invariant: for scenarios
+//! whose outcomes do not race the clock, both backends produce the same
+//! decision outcomes and the same per-query attributed byte totals — the
+//! equivalence test in `tests/des_tcp_equivalence.rs` holds the two
+//! runtimes to exactly that.
+
+#![warn(missing_docs)]
+// Determinism guardrails (see clippy.toml and dde-lint): the protocol-facing
+// surface of this crate must stay as strict as the simulator's. The TCP and
+// host modules are sanctioned coordinator sites (lint.toml R5
+// `coordinator_allow`) and carry explicit allow markers where they touch the
+// wall clock.
+#![deny(clippy::disallowed_methods, clippy::disallowed_types)]
+
+pub mod des;
+pub mod error;
+pub mod frame;
+pub mod host;
+pub mod tcp;
+pub mod transport;
+
+pub use des::DesTransport;
+pub use error::NetError;
+pub use frame::{decode, encode, FrameError, HEADER_LEN, MAX_PAYLOAD};
+pub use host::{run_cluster_tcp, ClusterConfig, HostOutcome, NodeHost, VirtualClock};
+pub use tcp::TcpTransport;
+pub use transport::{MessageHandler, Transport};

@@ -1,0 +1,304 @@
+//! Property suite for the wire codec (`dde_net::frame`).
+//!
+//! Randomized messages over every [`AthenaMsg`] variant must round-trip
+//! exactly — including the attribution keys the cost ledger depends on —
+//! and every truncation or inflation of a valid frame must be rejected
+//! with a typed error, never a panic. The vendored proptest engine is
+//! deterministic (per-test-name seed), so failures replay identically.
+
+use dde_core::{AthenaMsg, EvidenceObject, QueryId, RequestKind};
+use dde_logic::dnf::{Dnf, Literal, Term};
+use dde_logic::label::Label;
+use dde_logic::time::{SimDuration, SimTime};
+use dde_naming::name::Name;
+use dde_net::{decode, encode, FrameError, HEADER_LEN, MAX_PAYLOAD};
+use dde_netsim::{NodeId, WireMessage};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use std::collections::BTreeMap;
+
+// ---- Strategies --------------------------------------------------------
+
+fn label() -> BoxedStrategy<Label> {
+    "[a-z0-9/_.-]{1,12}".prop_map(Label::new).boxed()
+}
+
+fn name() -> BoxedStrategy<Name> {
+    prop::collection::vec("[a-z0-9_.-]{1,8}", 1..5)
+        .prop_map(|cs| Name::from_components(cs).expect("generated components are valid"))
+        .boxed()
+}
+
+fn node() -> BoxedStrategy<NodeId> {
+    (0usize..4096).prop_map(NodeId).boxed()
+}
+
+fn qid() -> BoxedStrategy<QueryId> {
+    any::<u64>().prop_map(QueryId).boxed()
+}
+
+fn sim_time() -> BoxedStrategy<SimTime> {
+    any::<u64>().prop_map(SimTime::from_micros).boxed()
+}
+
+fn sim_duration() -> BoxedStrategy<SimDuration> {
+    any::<u64>().prop_map(SimDuration::from_micros).boxed()
+}
+
+fn opt_node() -> BoxedStrategy<Option<NodeId>> {
+    prop_oneof![Just(None), node().prop_map(Some)].boxed()
+}
+
+fn opt_qid() -> BoxedStrategy<Option<QueryId>> {
+    prop_oneof![Just(None), qid().prop_map(Some)].boxed()
+}
+
+/// A satisfiable term: literals are deduplicated by label before
+/// construction, so `try_from_literals` cannot observe a contradiction.
+fn term() -> BoxedStrategy<Term> {
+    prop::collection::vec((label(), any::<bool>()), 1..4)
+        .prop_map(|lits| {
+            let mut by_label = BTreeMap::new();
+            for (l, negated) in lits {
+                by_label.entry(l).or_insert(negated);
+            }
+            let literals = by_label
+                .into_iter()
+                .map(|(l, negated)| {
+                    if negated {
+                        Literal::negative(l)
+                    } else {
+                        Literal::positive(l)
+                    }
+                })
+                .collect();
+            Term::try_from_literals(literals).expect("deduplicated literals cannot conflict")
+        })
+        .boxed()
+}
+
+fn dnf() -> BoxedStrategy<Dnf> {
+    prop::collection::vec(term(), 1..4)
+        .prop_map(Dnf::from_terms)
+        .boxed()
+}
+
+fn evidence_object() -> BoxedStrategy<EvidenceObject> {
+    (
+        name(),
+        prop::collection::vec(label(), 1..4),
+        any::<u64>(),
+        node(),
+        sim_time(),
+        sim_duration(),
+    )
+        .prop_map(
+            |(name, covers, size, source, sampled_at, validity)| EvidenceObject {
+                name,
+                covers,
+                size,
+                source,
+                sampled_at,
+                validity,
+            },
+        )
+        .boxed()
+}
+
+fn announce() -> BoxedStrategy<AthenaMsg> {
+    (qid(), node(), dnf(), sim_time())
+        .prop_map(
+            |(qid, origin, expr, deadline_at)| AthenaMsg::QueryAnnounce {
+                qid,
+                origin,
+                expr,
+                deadline_at,
+            },
+        )
+        .boxed()
+}
+
+fn request() -> BoxedStrategy<AthenaMsg> {
+    (
+        name(),
+        prop::collection::vec(label(), 0..4),
+        // Includes u64::MAX (the synthetic re-forward sentinel) so the
+        // attribution-preservation property covers the None branch.
+        prop_oneof![qid(), Just(QueryId(u64::MAX))],
+        node(),
+        prop_oneof![Just(RequestKind::Fetch), Just(RequestKind::Prefetch)],
+    )
+        .prop_map(|(name, wanted, qid, origin, kind)| AthenaMsg::Request {
+            name,
+            wanted,
+            qid,
+            origin,
+            kind,
+        })
+        .boxed()
+}
+
+fn data() -> BoxedStrategy<AthenaMsg> {
+    (evidence_object(), opt_node(), opt_qid())
+        .prop_map(|(object, push_to, for_query)| AthenaMsg::Data {
+            object,
+            push_to,
+            for_query,
+        })
+        .boxed()
+}
+
+fn label_share() -> BoxedStrategy<AthenaMsg> {
+    (
+        (label(), any::<bool>(), sim_time(), sim_duration()),
+        (node(), name(), opt_qid()),
+    )
+        .prop_map(
+            |((label, value, sampled_at, validity), (annotator, based_on, for_query))| {
+                AthenaMsg::LabelShare {
+                    label,
+                    value,
+                    sampled_at,
+                    validity,
+                    annotator,
+                    based_on,
+                    for_query,
+                }
+            },
+        )
+        .boxed()
+}
+
+fn athena_msg() -> BoxedStrategy<AthenaMsg> {
+    prop_oneof![announce(), request(), data(), label_share()].boxed()
+}
+
+// ---- Properties --------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every message survives encode → decode exactly, and the decoded
+    /// copy attributes to the same query (the ledger key must not drift
+    /// across the wire).
+    #[test]
+    fn round_trips_every_variant(msg in athena_msg()) {
+        let frame = match encode(&msg) {
+            Ok(f) => f,
+            Err(e) => return Err(TestCaseError::fail(format!("encode failed: {e}"))),
+        };
+        prop_assert!(frame.len() >= HEADER_LEN);
+        prop_assert!(frame.len() <= HEADER_LEN + MAX_PAYLOAD);
+        let decoded = match decode(&frame) {
+            Ok(m) => m,
+            Err(e) => return Err(TestCaseError::fail(format!("decode failed: {e}"))),
+        };
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(decoded.attribution(), msg.attribution());
+        prop_assert_eq!(decoded.wire_size(), msg.wire_size());
+        prop_assert_eq!(decoded.kind(), msg.kind());
+    }
+
+    /// Cutting a valid frame anywhere — inside the header or inside the
+    /// payload — must yield an error, never a panic or a bogus message.
+    #[test]
+    fn rejects_every_truncation(msg in athena_msg()) {
+        let frame = encode(&msg).expect("encode");
+        for cut in 0..frame.len() {
+            prop_assert!(
+                decode(&frame[..cut]).is_err(),
+                "decode accepted {} of {} bytes", cut, frame.len()
+            );
+        }
+    }
+
+    /// Appending bytes past the declared payload must be rejected: the
+    /// framing is exact, not prefix-tolerant.
+    #[test]
+    fn rejects_trailing_bytes(msg in athena_msg(), extra in 1usize..16) {
+        let mut frame = encode(&msg).expect("encode");
+        frame.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert!(matches!(
+            decode(&frame),
+            Err(FrameError::Trailing { .. }) | Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    /// Forging the header's length field past the cap is refused before
+    /// any payload work happens.
+    #[test]
+    fn rejects_oversized_declared_length(msg in athena_msg(), over in 1u32..1024) {
+        let mut frame = encode(&msg).expect("encode");
+        let huge = (MAX_PAYLOAD as u32 + over).to_be_bytes();
+        frame[4..8].copy_from_slice(&huge);
+        prop_assert!(matches!(decode(&frame), Err(FrameError::Oversized { .. })));
+    }
+
+    /// Corrupting the magic, version, or kind byte is caught by header
+    /// validation alone.
+    #[test]
+    fn rejects_corrupted_headers(msg in athena_msg()) {
+        let good = encode(&msg).expect("encode");
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        prop_assert!(matches!(decode(&bad), Err(FrameError::BadMagic { .. })));
+        let mut bad = good.clone();
+        bad[2] = bad[2].wrapping_add(1);
+        prop_assert!(matches!(decode(&bad), Err(FrameError::BadVersion { .. })));
+        let mut bad = good;
+        bad[3] = 0x7f;
+        prop_assert!(matches!(decode(&bad), Err(FrameError::UnknownKind { .. })));
+    }
+}
+
+/// One deterministic exemplar per variant, so every kind byte is
+/// exercised even if the randomized union were to skew.
+#[test]
+fn each_variant_round_trips() {
+    let msgs = vec![
+        AthenaMsg::QueryAnnounce {
+            qid: QueryId(7),
+            origin: NodeId(0),
+            expr: Dnf::from_terms(vec![Term::try_from_literals(vec![
+                Literal::positive(Label::new("viable/a")),
+                Literal::negative(Label::new("blocked/b")),
+            ])
+            .expect("consistent term")]),
+            deadline_at: SimTime::from_secs(60),
+        },
+        AthenaMsg::Request {
+            name: "/city/cam/n1/x".parse().expect("valid name"),
+            wanted: vec![Label::new("viable/a")],
+            qid: QueryId(u64::MAX),
+            origin: NodeId(2),
+            kind: RequestKind::Prefetch,
+        },
+        AthenaMsg::Data {
+            object: EvidenceObject {
+                name: "/city/cam/n1/x".parse().expect("valid name"),
+                covers: vec![Label::new("viable/a")],
+                size: 500_000,
+                source: NodeId(1),
+                sampled_at: SimTime::from_secs(3),
+                validity: SimDuration::from_secs(10),
+            },
+            push_to: Some(NodeId(3)),
+            for_query: Some(QueryId(9)),
+        },
+        AthenaMsg::LabelShare {
+            label: Label::new("viable/a"),
+            value: true,
+            sampled_at: SimTime::from_secs(3),
+            validity: SimDuration::from_secs(10),
+            annotator: NodeId(1),
+            based_on: "/city/cam/n1/x".parse().expect("valid name"),
+            for_query: None,
+        },
+    ];
+    for msg in msgs {
+        let frame = encode(&msg).expect("encode");
+        let decoded = decode(&frame).expect("decode");
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.attribution(), msg.attribution());
+    }
+}

@@ -38,7 +38,9 @@ pub use fault::{FaultEvent, FaultSchedule, TimedFault};
 pub use metrics::{KindCounters, Metrics};
 pub use partition::Partition;
 pub use shard::{EventKey, ShardedSimulator};
-pub use sim::{Context, MediumMode, Protocol, Simulator, TraceEvent, WireMessage};
+pub use sim::{
+    Command, Context, MediumMode, Protocol, SendError, Simulator, TraceEvent, WireMessage,
+};
 pub use topology::{LinkSpec, NodeId, Topology};
 
 /// Convenient glob-import of the crate's primary types.

@@ -549,10 +549,22 @@ impl<P: Protocol> Region<P> {
     }
 
     fn start_transmission(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
-        let spec = self
-            .topology
-            .link(from, to)
-            .expect("Context::send already checked adjacency"); // lint: allow(panic) — adjacency was checked when the send was enqueued
+        let Some(spec) = self.topology.link(from, to) else {
+            // Context::try_send checks adjacency, so this is unreachable
+            // from well-formed command streams; degrade to a counted drop
+            // rather than a panic (same policy as the sequential engine).
+            debug_assert!(false, "transmission on non-existent link {from}->{to}");
+            self.metrics.messages_lost += 1;
+            self.emit(
+                from,
+                EventKind::Drop {
+                    from: from.index() as u32,
+                    to: to.index() as u32,
+                    reason: "not-neighbor",
+                },
+            );
+            return;
+        };
         let bytes = msg.wire_size();
         let depart = self.now + spec.transmission_time(bytes);
         self.links.entry((from, to)).or_default().busy = true;

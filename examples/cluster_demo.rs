@@ -1,0 +1,192 @@
+//! Cluster demo: the same scenario on both transport backends.
+//!
+//! Boots a loopback TCP cluster — one OS thread + real socket endpoint
+//! per Athena node — runs a small query band against it, then replays the
+//! identical scenario through the deterministic DES backend and checks
+//! the two agree on every decision outcome and every attributed byte.
+//! The live run's merged trace is written as JSONL (CI uploads it as an
+//! artifact).
+//!
+//! Run with: `cargo run -p dde-examples --bin cluster_demo [trace.jsonl]`
+//!
+//! Exits nonzero if the backends disagree — this is the CI cluster-smoke
+//! gate, not just a printout.
+
+// CLI argument parsing reads the environment; the scenario and both
+// backend runs are fixed (same policy as city_scale.rs).
+#![allow(clippy::disallowed_methods)]
+use dde_core::{QueryOutcome, QueryStatus, RunOptions, RunReport, Strategy};
+use dde_logic::dnf::{Dnf, Term};
+use dde_logic::label::Label;
+use dde_logic::time::{SimDuration, SimTime};
+use dde_net::{run_cluster_tcp, ClusterConfig, DesTransport};
+use dde_netsim::{FaultSchedule, LinkSpec, NodeId, Topology};
+use dde_obs::{JsonlSink, NullSink};
+use dde_workload::{
+    Catalog, DynamicsClass, ObjectSpec, QueryInstance, RoadGrid, Scenario, ScenarioConfig,
+    WorldModel,
+};
+use std::io::BufWriter;
+
+/// A 4-node star (leaf 0 — hub 1 — leaves 2, 3) with static ground truth
+/// and spaced queries: timing-insensitive by construction, so byte totals
+/// are a pure function of protocol decisions on either backend.
+fn star_scenario() -> Scenario {
+    let mut topology = Topology::new(4);
+    topology.add_link(NodeId(0), NodeId(1), LinkSpec::mbps1());
+    topology.add_link(NodeId(1), NodeId(2), LinkSpec::mbps1());
+    topology.add_link(NodeId(1), NodeId(3), LinkSpec::mbps1());
+    topology.rebuild_routes();
+
+    let slow = SimDuration::from_secs(600);
+    let mut world = WorldModel::new(5);
+    world.register(Label::new("x"), DynamicsClass::Slow, slow, 1.0);
+    world.register(Label::new("y"), DynamicsClass::Slow, slow, 1.0);
+
+    let mut catalog = Catalog::new();
+    catalog.add(ObjectSpec {
+        name: "/city/seg/x/cam/a".parse().expect("valid name"),
+        covers: vec![Label::new("x")],
+        size: 250_000,
+        source: NodeId(3),
+        class: DynamicsClass::Slow,
+        validity: slow,
+    });
+    catalog.add(ObjectSpec {
+        name: "/city/seg/x/cam/wide".parse().expect("valid name"),
+        covers: vec![Label::new("x"), Label::new("y")],
+        size: 450_000,
+        source: NodeId(3),
+        class: DynamicsClass::Slow,
+        validity: slow,
+    });
+
+    let query = |id: u64, origin: usize, labels: &[&str], at: u64| QueryInstance {
+        id,
+        origin: NodeId(origin),
+        expr: Dnf::from_terms(vec![Term::all_of(labels.iter().copied())]),
+        deadline: SimDuration::from_secs(60),
+        issue_at: SimTime::from_secs(at),
+    };
+    let queries = vec![
+        query(0, 0, &["x"], 5),
+        query(1, 2, &["x", "y"], 20),
+        query(2, 3, &["x"], 35),
+    ];
+
+    let grid = RoadGrid::new(2, 2);
+    let node_sites = grid.intersections().take(4).collect();
+    Scenario {
+        config: ScenarioConfig::small(),
+        grid,
+        node_sites,
+        topology,
+        world,
+        catalog,
+        queries,
+        faults: FaultSchedule::new(),
+    }
+}
+
+fn outcome_str(status: &QueryStatus) -> String {
+    match status {
+        QueryStatus::Decided {
+            outcome: QueryOutcome::Viable(i),
+            ..
+        } => format!("viable(route {i})"),
+        QueryStatus::Decided {
+            outcome: QueryOutcome::Infeasible,
+            ..
+        } => "infeasible".to_string(),
+        QueryStatus::Missed => "missed".to_string(),
+        QueryStatus::Pending => "pending".to_string(),
+    }
+}
+
+/// Checks decision and byte agreement, printing each mismatch. Returns
+/// how many checks failed.
+fn compare(des: &RunReport, tcp: &RunReport) -> usize {
+    let mut mismatches = 0;
+    let mut check = |what: &str, ok: bool| {
+        if !ok {
+            eprintln!("MISMATCH: {what}");
+            mismatches += 1;
+        }
+    };
+
+    check("resolved counts", des.resolved == tcp.resolved);
+    check("viable counts", des.viable == tcp.viable);
+    check("infeasible counts", des.infeasible == tcp.infeasible);
+    check("missed counts", des.missed == tcp.missed);
+    check("total bytes", des.total_bytes == tcp.total_bytes);
+    check("bytes by kind", des.bytes_by_kind == tcp.bytes_by_kind);
+
+    println!("\n  per-query agreement:");
+    println!(
+        "  {:>5} {:>7} {:>20} {:>20} {:>12}",
+        "query", "origin", "DES outcome", "TCP outcome", "bytes match"
+    );
+    let des_ledger = des.ledger.as_ref();
+    let tcp_ledger = tcp.ledger.as_ref();
+    for (d, t) in des.queries.iter().zip(&tcp.queries) {
+        let outcomes_agree = match (&d.status, &t.status) {
+            (QueryStatus::Decided { outcome: a, .. }, QueryStatus::Decided { outcome: b, .. }) => {
+                a == b
+            }
+            (a, b) => std::mem::discriminant(a) == std::mem::discriminant(b),
+        };
+        let (db, tb) = (
+            des_ledger
+                .and_then(|l| l.queries.get(&d.id.0))
+                .map(|q| q.bytes),
+            tcp_ledger
+                .and_then(|l| l.queries.get(&t.id.0))
+                .map(|q| q.bytes),
+        );
+        println!(
+            "  {:>5} {:>7} {:>20} {:>20} {:>12}",
+            d.id.to_string(),
+            d.origin.to_string(),
+            outcome_str(&d.status),
+            outcome_str(&t.status),
+            if db == tb { "yes" } else { "NO" },
+        );
+        check("query outcome", outcomes_agree);
+        check("query byte attribution", db == tb);
+    }
+    mismatches
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = std::env::args() // lint: allow(nondeterminism) — CLI trace-path selection only; the scenario itself is fixed
+        .nth(1)
+        .unwrap_or_else(|| "cluster_trace.jsonl".to_string());
+    let scenario = star_scenario();
+    let options = RunOptions::new(Strategy::Lvf);
+
+    println!("== DES backend (deterministic baseline) ==");
+    let des = DesTransport::new(options.clone()).run_observed(&scenario, Box::new(NullSink));
+    println!(
+        "  resolved {}/{} | total bytes {}",
+        des.resolved, des.total_queries, des.total_bytes
+    );
+
+    println!(
+        "\n== TCP backend (loopback cluster, {} real node threads) ==",
+        scenario.topology.len()
+    );
+    let trace = JsonlSink::new(BufWriter::new(std::fs::File::create(&trace_path)?));
+    let tcp = run_cluster_tcp(&scenario, &options, &ClusterConfig::default(), Some(trace))?;
+    println!(
+        "  resolved {}/{} | total bytes {} | trace -> {}",
+        tcp.resolved, tcp.total_queries, tcp.total_bytes, trace_path
+    );
+
+    let mismatches = compare(&des, &tcp);
+    if mismatches > 0 {
+        eprintln!("\ncluster demo FAILED: {mismatches} mismatches between backends");
+        std::process::exit(1);
+    }
+    println!("\ncluster demo OK: backends agree on all outcomes and attributed bytes");
+    Ok(())
+}
