@@ -58,6 +58,10 @@ pub struct RunOptions {
     /// Whether crashed nodes lose their content store and label cache on
     /// recovery (see [`NodeConfig::crash_wipes_cache`]).
     pub crash_wipes_cache: bool,
+    /// Online adaptive planning (per-node estimators re-parameterizing the
+    /// §III-A planners, plus optional admission control); `None` — the
+    /// default — reproduces the static planners byte-for-byte.
+    pub adaptive: Option<dde_sched::AdaptiveConfig>,
     /// Simulator seed (link-loss sampling).
     pub seed: u64,
 }
@@ -79,6 +83,7 @@ impl RunOptions {
             drain: SimDuration::from_secs(5),
             faults: FaultSchedule::new(),
             crash_wipes_cache: false,
+            adaptive: None,
             seed: 7,
         }
     }
@@ -139,6 +144,12 @@ pub struct RunReport {
     pub approx_hits: u64,
     /// Background pushes dropped by utility triage (§V-B).
     pub triage_drops: u64,
+    /// Queries shed by the admission gate (adaptive mode), summed over
+    /// nodes.
+    pub admission_shed: u64,
+    /// Admission-gate deferral decisions (adaptive mode), summed over
+    /// nodes.
+    pub admission_deferred: u64,
     /// Number of fault events installed for this run (0 = fault-free).
     pub fault_events: usize,
     /// In-flight messages dropped because a fault took down their
@@ -333,6 +344,7 @@ pub fn build_shared_world(scenario: &Scenario, options: &RunOptions) -> Arc<Shar
     config.corroboration = options.corroboration;
     config.triage_threshold = options.triage_threshold;
     config.crash_wipes_cache = options.crash_wipes_cache;
+    config.adaptive = options.adaptive;
     config.prob_true_prior = scenario.config.prob_viable;
     config.planning_bandwidth_bps = scenario.config.link_bandwidth_bps;
 
@@ -451,6 +463,8 @@ pub fn collect_report_parts(
         prefetch_pushes: 0,
         approx_hits: 0,
         triage_drops: 0,
+        admission_shed: 0,
+        admission_deferred: 0,
         fault_events,
         messages_dropped_by_fault: metrics.messages_dropped_by_fault,
         messages_purged_by_fault: metrics.messages_purged_by_fault,
@@ -471,6 +485,8 @@ pub fn collect_report_parts(
         report.prefetch_pushes += node.stats.prefetch_pushes;
         report.approx_hits += node.stats.approx_hits;
         report.triage_drops += node.stats.triage_drops;
+        report.admission_shed += node.stats.admission_shed;
+        report.admission_deferred += node.stats.admission_deferred;
         for q in node.queries() {
             report.queries.push(QueryRecord {
                 id: q.id,

@@ -19,7 +19,7 @@ use crate::annotate::{Annotator, TrustPolicy};
 use crate::msg::{AthenaMsg, QueryId, RequestKind};
 use crate::object::EvidenceObject;
 use crate::query::{Outstanding, QueryOutcome, QueryState, QueryStatus};
-use crate::strategy::Strategy;
+use crate::strategy::{Priors, Strategy};
 use dde_logic::label::Label;
 use dde_logic::meta::{ConditionMeta, Cost, MetaTable, Probability};
 use dde_logic::time::{SimDuration, SimTime};
@@ -28,8 +28,11 @@ use dde_naming::fib::Pit;
 use dde_naming::name::Name;
 use dde_naming::store::ContentStore;
 use dde_netsim::sim::{Context, Protocol};
-use dde_netsim::topology::NodeId;
+use dde_netsim::topology::{NodeId, Topology};
 use dde_obs::EventKind;
+use dde_sched::adaptive::{
+    prefix_of, AdaptiveConfig, AdaptiveState, AdmissionPolicy, AdmissionVerdict,
+};
 use dde_sched::explain::{explain_dnf_plan, summarize_dnf_plan};
 use dde_sched::item::Channel;
 use dde_sched::shortcircuit::plan_dnf;
@@ -126,6 +129,12 @@ pub struct NodeConfig {
     /// Volatile forwarding state — PIT, prefetch queue, in-flight fetch
     /// bookkeeping — is always lost.
     pub crash_wipes_cache: bool,
+    /// Online adaptive planning: when set, the node re-parameterizes its
+    /// §III-A planners from per-node estimators learned off the trace-visible
+    /// event stream, and (if the config carries an [`AdmissionPolicy`])
+    /// gates query admission under overload. `None` — the default —
+    /// reproduces the static planners byte-for-byte.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl NodeConfig {
@@ -147,6 +156,7 @@ impl NodeConfig {
             corroboration: 1,
             triage_threshold: None,
             crash_wipes_cache: false,
+            adaptive: None,
         }
     }
 
@@ -192,6 +202,11 @@ pub struct NodeStats {
     pub labels_forwarded: u64,
     /// Background pushes dropped by information-utility triage (§V-B).
     pub triage_drops: u64,
+    /// Queries shed by the admission gate (never planned; they run to
+    /// their deadline and count as deliberate misses).
+    pub admission_shed: u64,
+    /// Admission-gate deferral decisions (one query may defer repeatedly).
+    pub admission_deferred: u64,
 }
 
 /// External stimuli delivered to an Athena node.
@@ -234,6 +249,29 @@ fn qid_tag(qid: QueryId) -> Option<QueryId> {
     (qid.0 != u64::MAX).then_some(qid)
 }
 
+/// Admission-gate state for one locally issued query (adaptive mode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AdmissionState {
+    /// Retrieval proceeds normally.
+    Admitted,
+    /// Waiting: the gate re-evaluates once `until` passes.
+    Deferred {
+        /// When the gate looks again.
+        until: SimTime,
+        /// How often this query has been deferred so far.
+        tries: u32,
+    },
+    /// Never planned; the query runs to its deadline unanswered.
+    Shed,
+}
+
+/// The gate's latest predicted cost and ruling for one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AdmissionRecord {
+    predicted: u64,
+    state: AdmissionState,
+}
+
 /// One Athena node.
 #[derive(Debug)]
 pub struct AthenaNode {
@@ -269,6 +307,19 @@ pub struct AthenaNode {
     /// Local queries whose terminal trace event has been emitted (so
     /// resolve/miss events fire exactly once per query).
     emitted_final: BTreeSet<QueryId>,
+    /// Online estimator state (`None` = static planning). Built from
+    /// [`NodeConfig::adaptive`]; updated only at trace-visible events so
+    /// observed, unobserved, and sharded runs evolve identically.
+    adaptive: Option<AdaptiveState>,
+    /// Admission-gate rulings per local query (adaptive mode only;
+    /// admitted queries without a gate decision are simply absent).
+    admission: BTreeMap<QueryId, AdmissionRecord>,
+    /// Evidence bytes delivered to this node per local query — the
+    /// actual-cost signal the load estimator folds at decision time.
+    ingress_bytes: BTreeMap<QueryId, u64>,
+    /// Local queries whose actual bytes have been folded into the load
+    /// estimator (each decision counts once).
+    load_folded: BTreeSet<QueryId>,
     /// Counters.
     pub stats: NodeStats,
 }
@@ -280,6 +331,10 @@ impl AthenaNode {
         annotator: Arc<dyn Annotator + Send + Sync>,
     ) -> AthenaNode {
         let cache_capacity = shared.config.cache_capacity;
+        let adaptive = shared
+            .config
+            .adaptive
+            .map(|cfg| AdaptiveState::new(cfg, shared.config.prob_true_prior));
         AthenaNode {
             shared,
             annotator,
@@ -296,8 +351,18 @@ impl AthenaNode {
             reliability: BTreeMap::new(),
             tick_armed: false,
             emitted_final: BTreeSet::new(),
+            adaptive,
+            admission: BTreeMap::new(),
+            ingress_bytes: BTreeMap::new(),
+            load_folded: BTreeSet::new(),
             stats: NodeStats::default(),
         }
+    }
+
+    /// The node's adaptive estimator state, when adaptive planning is on
+    /// (for post-run inspection).
+    pub fn adaptive_state(&self) -> Option<&AdaptiveState> {
+        self.adaptive.as_ref()
     }
 
     /// The node's local queries (for post-run inspection).
@@ -363,11 +428,19 @@ impl AthenaNode {
         expr: &dde_logic::dnf::Dnf,
         ctx: &Context<'_, AthenaMsg>,
     ) -> (String, u64) {
-        let me = ctx.node();
-        let topology = ctx.topology();
-        let prior = self.shared.config.prob_true_prior;
-        let meta: MetaTable = expr
-            .labels()
+        let meta = self.plan_meta(expr, ctx.node(), ctx.topology());
+        let plan = plan_dnf(expr, &meta);
+        let predicted = summarize_dnf_plan(&plan).expected_bytes_rounded();
+        (explain_dnf_plan(&plan), predicted)
+    }
+
+    /// The planner's per-condition metadata from this node's vantage
+    /// point: cheapest-provider retrieval cost, most conservative provider
+    /// validity, and the short-circuit probability — learned per
+    /// (name-prefix, condition) when adaptive planning is on, the run's
+    /// static prior otherwise.
+    fn plan_meta(&self, expr: &dde_logic::dnf::Dnf, me: NodeId, topology: &Topology) -> MetaTable {
+        expr.labels()
             .into_iter()
             .map(|l| {
                 let providers = self.catalog().providers_of(&l);
@@ -381,14 +454,39 @@ impl AthenaNode {
                     .map(|&i| self.catalog().get(i).validity)
                     .min()
                     .unwrap_or(SimDuration::MAX);
+                let prob = match &self.adaptive {
+                    // The cheapest provider's name keys the learned
+                    // estimate — the same prefix the annotation feedback
+                    // updates in `finalize_label`.
+                    Some(state) => providers
+                        .iter()
+                        .min_by_key(|&&i| {
+                            (Strategy::effective_cost(i, self.catalog(), me, topology), i)
+                        })
+                        .map(|&i| state.prob_for(&self.catalog().get(i).name.to_string(), &l))
+                        .unwrap_or_else(|| state.truth.prior()),
+                    None => self.shared.config.prob_true_prior,
+                };
                 let meta = ConditionMeta::new(Cost::from_bytes(cost), validity)
-                    .with_prob(Probability::clamped(prior));
+                    .with_prob(Probability::clamped(prob));
                 (l, meta)
             })
-            .collect();
-        let plan = plan_dnf(expr, &meta);
-        let predicted = summarize_dnf_plan(&plan).expected_bytes_rounded();
-        (explain_dnf_plan(&plan), predicted)
+            .collect()
+    }
+
+    /// Predicted expected retrieval cost in bytes (§III-A) of `expr` from
+    /// here under the current estimators, for the admission gate. Unlike
+    /// [`AthenaNode::plan_rationale`] this must also run on unobserved
+    /// runs — admission decisions cannot depend on whether a sink is
+    /// attached.
+    fn predicted_plan_bytes(
+        &self,
+        expr: &dde_logic::dnf::Dnf,
+        me: NodeId,
+        topology: &Topology,
+    ) -> u64 {
+        let meta = self.plan_meta(expr, me, topology);
+        summarize_dnf_plan(&plan_dnf(expr, &meta)).expected_bytes_rounded()
     }
 
     /// The first (OR-term, condition) coordinates of `label` in `qid`'s
@@ -609,6 +707,22 @@ impl AthenaNode {
                 cond,
             });
         }
+        // Adaptive feedback: the annotation outcome updates the truth
+        // estimate for this evidence prefix, and reaching an annotation at
+        // all counts as a successful retrieval from the evidence's source.
+        // The update uses only what the `annotate` trace event carries, so
+        // observed and unobserved runs evolve identically.
+        if self.adaptive.is_some() {
+            let source = self.shared.catalog.by_name(based_on).map(|s| s.source);
+            if let Some(st) = self.adaptive.as_mut() {
+                let rendered = based_on.to_string();
+                let prefix = prefix_of(&rendered, st.config.prefix_len);
+                st.truth.observe(prefix, label, value);
+                if let Some(src) = source {
+                    st.reliability.observe(src.0 as u32, true);
+                }
+            }
+        }
         self.labels.insert(
             label.clone(),
             CachedLabel {
@@ -748,6 +862,15 @@ impl AthenaNode {
         let qids: Vec<QueryId> = self.queries.keys().copied().collect();
 
         for qid in qids {
+            // Admission gate (adaptive mode): shed queries never plan;
+            // deferred ones wait out their re-evaluation time, then face
+            // the gate again. The deadline check still runs below so a
+            // gated query turns `Missed` on time.
+            if !self.admission_allows(ctx, qid, now) {
+                let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
+                q.check(now);
+                continue;
+            }
             loop {
                 let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                 if q.check(now).is_final() {
@@ -757,7 +880,34 @@ impl AthenaNode {
                 if q.outstanding.is_some() && !q.outstanding_timed_out(now, retry) {
                     break;
                 }
+                // A timed-out fetch falls through to re-plan; in adaptive
+                // mode the unresponsive source's reliability estimate is
+                // discounted first (the trace-visible `fetch-timeout`).
+                let timed_out: Option<Name> = if self.adaptive.is_some() {
+                    q.outstanding.as_ref().map(|o| o.name.clone())
+                } else {
+                    None
+                };
+                if let Some(name) = timed_out {
+                    if let Some(spec) = self.shared.catalog.by_name(&name) {
+                        let source = spec.source;
+                        if let Some(st) = self.adaptive.as_mut() {
+                            st.reliability.observe(source.0 as u32, false);
+                        }
+                        if ctx.obs_enabled() {
+                            ctx.emit(EventKind::FetchTimeout {
+                                query: qid.0,
+                                name: name.to_string(),
+                                source: source.index() as u32,
+                            });
+                        }
+                    }
+                }
                 let (candidates, _) = self.plans.get(&qid).expect("plan exists"); // lint: allow(panic) — a plan is installed alongside every local query
+                let priors = match self.adaptive.as_ref() {
+                    Some(st) => Priors::Learned(st),
+                    None => Priors::Fixed(prior),
+                };
                 let Some((idx, label)) = strategy.next_request(
                     self.queries.get(&qid).expect("query exists"), // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
                     candidates,
@@ -766,7 +916,7 @@ impl AthenaNode {
                     ctx.topology(),
                     now,
                     channel,
-                    prior,
+                    &priors,
                 ) else {
                     break;
                 };
@@ -921,9 +1071,159 @@ impl AthenaNode {
             let q = self.queries.get_mut(&qid).expect("query exists"); // lint: allow(panic) — qid drawn from queries.keys(); local queries are never removed
             q.check(now);
         }
+        self.fold_finished_into_load();
         self.emit_query_outcomes(ctx);
         if self.has_pending_work(now) {
             self.arm_tick(ctx);
+        }
+    }
+
+    /// Re-evaluates the admission gate for `qid` inside the retrieval
+    /// loop. Returns `false` while the query is shed or still deferred; a
+    /// deferral that ripens re-faces the gate with *fresh* estimates, and
+    /// an admission at that point emits the plan and floods the announce
+    /// that were withheld at issue time.
+    fn admission_allows(
+        &mut self,
+        ctx: &mut Context<'_, AthenaMsg>,
+        qid: QueryId,
+        now: SimTime,
+    ) -> bool {
+        let Some(rec) = self.admission.get(&qid).copied() else {
+            return true;
+        };
+        let (until, tries) = match rec.state {
+            AdmissionState::Admitted => return true,
+            AdmissionState::Shed => return false,
+            AdmissionState::Deferred { until, tries } => (until, tries),
+        };
+        if now < until {
+            return false;
+        }
+        let Some(policy) = self.adaptive.as_ref().and_then(|s| s.config.admission) else {
+            return true;
+        };
+        let Some(q) = self.queries.get(&qid) else {
+            return true;
+        };
+        if q.status.is_final() {
+            return false;
+        }
+        let me = ctx.node();
+        let expr = q.expr.clone();
+        let deadline_at = q.deadline_at;
+        let predicted = self.predicted_plan_bytes(&expr, me, ctx.topology());
+        let active = self.active_admitted();
+        let slack = deadline_at.saturating_since(now);
+        let verdict = match self.adaptive.as_ref() {
+            Some(st) => policy.verdict(predicted, active, &st.load, slack, tries),
+            None => AdmissionVerdict::Admit,
+        };
+        if ctx.obs_enabled() {
+            ctx.emit(EventKind::Admission {
+                query: qid.0,
+                verdict: verdict.name(),
+                predicted_bytes: predicted,
+            });
+        }
+        match verdict {
+            AdmissionVerdict::Admit => {
+                self.admission.insert(
+                    qid,
+                    AdmissionRecord {
+                        predicted,
+                        state: AdmissionState::Admitted,
+                    },
+                );
+                if ctx.obs_enabled() {
+                    let (rationale, expected_bytes) = self.plan_rationale(&expr, ctx);
+                    let candidates = self.plans.get(&qid).map(|(c, _)| c.len()).unwrap_or(0);
+                    ctx.emit(EventKind::Plan {
+                        query: qid.0,
+                        strategy: self.shared.config.strategy.code(),
+                        candidates: candidates as u64,
+                        expected_bytes,
+                        rationale,
+                    });
+                }
+                let neighbors: Vec<NodeId> = ctx.topology().neighbors(me).collect();
+                for nb in neighbors {
+                    ctx.send(
+                        nb,
+                        AthenaMsg::QueryAnnounce {
+                            qid,
+                            origin: me,
+                            expr: expr.clone(),
+                            deadline_at,
+                        },
+                    );
+                }
+                true
+            }
+            AdmissionVerdict::Defer => {
+                self.stats.admission_deferred += 1;
+                self.admission.insert(
+                    qid,
+                    AdmissionRecord {
+                        predicted,
+                        state: AdmissionState::Deferred {
+                            until: now + policy.defer_for,
+                            tries: tries + 1,
+                        },
+                    },
+                );
+                false
+            }
+            AdmissionVerdict::Shed => {
+                self.stats.admission_shed += 1;
+                self.admission.insert(
+                    qid,
+                    AdmissionRecord {
+                        predicted,
+                        state: AdmissionState::Shed,
+                    },
+                );
+                false
+            }
+        }
+    }
+
+    /// How many local queries are admitted and not yet decided — the
+    /// `active` input of [`AdmissionPolicy::verdict`]. Deferred and shed
+    /// queries consume no retrieval resources, so they do not count.
+    fn active_admitted(&self) -> usize {
+        self.queries
+            .iter()
+            .filter(|(qid, q)| {
+                !q.status.is_final()
+                    && self
+                        .admission
+                        .get(qid)
+                        .is_none_or(|r| matches!(r.state, AdmissionState::Admitted))
+            })
+            .count()
+    }
+
+    /// Folds the accumulated actual bytes of freshly finalized local
+    /// queries into the load estimator, once per query. Runs whether or
+    /// not a sink is attached — observed and unobserved adaptive runs
+    /// must evolve identically.
+    fn fold_finished_into_load(&mut self) {
+        if self.adaptive.is_none() {
+            return;
+        }
+        let newly: Vec<QueryId> = self
+            .queries
+            .iter()
+            .filter(|(qid, q)| q.status.is_final() && !self.load_folded.contains(qid))
+            .map(|(qid, _)| *qid)
+            .collect();
+        for qid in newly {
+            self.load_folded.insert(qid);
+            let bytes = self.ingress_bytes.get(&qid).copied().unwrap_or(0);
+            if let Some(st) = self.adaptive.as_mut() {
+                st.load.observe_decision(bytes);
+            }
         }
     }
 
@@ -1282,7 +1582,25 @@ impl AthenaNode {
                 );
             }
         }
-        let _ = local_interested; // local delivery happens via annotation below
+        // Adaptive load signal: evidence bytes arriving for local queries
+        // accumulate per query and are folded into the load estimator when
+        // the decision completes — the same Deliver-with-attribution the
+        // cost ledger charges. Local delivery itself happens via the
+        // annotation below.
+        if self.adaptive.is_some() && local_interested {
+            let mut local_qids: BTreeSet<QueryId> = BTreeSet::new();
+            for i in &interests {
+                if i.requester == Requester::Local {
+                    let (qid_i, _) = &i.query;
+                    if qid_i.0 != u64::MAX {
+                        local_qids.insert(*qid_i);
+                    }
+                }
+            }
+            for q in local_qids {
+                *self.ingress_bytes.entry(q).or_insert(0) += object.size;
+            }
+        }
 
         // The object may also satisfy interests registered under *other*
         // names — a panorama or an approximate substitute covers the same
@@ -1579,35 +1897,85 @@ impl Protocol for AthenaNode {
                 .candidates(&labels, self.catalog(), me, ctx.topology());
         let state = QueryState::new(qid, inst.expr.clone(), now, inst.deadline);
         let deadline_at = state.deadline_at;
+        // Admission gate (adaptive mode): predict the plan's cost and ask
+        // the policy before any announce or fetch leaves this node. Gated
+        // queries still get their state and deadline timer, so reporting
+        // counts them against resolution like any other miss.
+        let mut gate: Option<(u64, AdmissionVerdict, AdmissionPolicy)> = None;
+        if let Some(st) = self.adaptive.as_ref() {
+            if let Some(policy) = st.config.admission {
+                let predicted = self.predicted_plan_bytes(&inst.expr, me, ctx.topology());
+                let active = self.active_admitted();
+                let verdict = policy.verdict(predicted, active, &st.load, inst.deadline, 0);
+                gate = Some((predicted, verdict, policy));
+            }
+        }
+        let admitted = gate.is_none_or(|(_, v, _)| v == AdmissionVerdict::Admit);
         if ctx.obs_enabled() {
             ctx.emit(EventKind::QueryInit {
                 query: qid.0,
                 origin: me.index() as u32,
             });
-            let (rationale, expected_bytes) = self.plan_rationale(&inst.expr, ctx);
-            ctx.emit(EventKind::Plan {
-                query: qid.0,
-                strategy: self.shared.config.strategy.code(),
-                candidates: candidates.len() as u64,
-                expected_bytes,
-                rationale,
-            });
+            if let Some((predicted, verdict, _)) = gate {
+                ctx.emit(EventKind::Admission {
+                    query: qid.0,
+                    verdict: verdict.name(),
+                    predicted_bytes: predicted,
+                });
+            }
+            if admitted {
+                let (rationale, expected_bytes) = self.plan_rationale(&inst.expr, ctx);
+                ctx.emit(EventKind::Plan {
+                    query: qid.0,
+                    strategy: self.shared.config.strategy.code(),
+                    candidates: candidates.len() as u64,
+                    expected_bytes,
+                    rationale,
+                });
+            }
         }
         self.queries.insert(qid, state);
         self.plans.insert(qid, (candidates, labels));
         self.seen_announces.insert(qid);
-        // Flood the decision structure so the network can prefetch.
-        let neighbors: Vec<NodeId> = ctx.topology().neighbors(me).collect();
-        for nb in neighbors {
-            ctx.send(
-                nb,
-                AthenaMsg::QueryAnnounce {
+        match gate {
+            Some((predicted, AdmissionVerdict::Shed, _)) => {
+                self.stats.admission_shed += 1;
+                self.admission.insert(
                     qid,
-                    origin: me,
-                    expr: inst.expr.clone(),
-                    deadline_at,
-                },
-            );
+                    AdmissionRecord {
+                        predicted,
+                        state: AdmissionState::Shed,
+                    },
+                );
+            }
+            Some((predicted, AdmissionVerdict::Defer, policy)) => {
+                self.stats.admission_deferred += 1;
+                self.admission.insert(
+                    qid,
+                    AdmissionRecord {
+                        predicted,
+                        state: AdmissionState::Deferred {
+                            until: now + policy.defer_for,
+                            tries: 1,
+                        },
+                    },
+                );
+            }
+            _ => {
+                // Flood the decision structure so the network can prefetch.
+                let neighbors: Vec<NodeId> = ctx.topology().neighbors(me).collect();
+                for nb in neighbors {
+                    ctx.send(
+                        nb,
+                        AthenaMsg::QueryAnnounce {
+                            qid,
+                            origin: me,
+                            expr: inst.expr.clone(),
+                            deadline_at,
+                        },
+                    );
+                }
+            }
         }
         // Deadline timer: tag = qid + 1 (0 is the tick).
         ctx.set_timer_at(deadline_at, qid.0 + 1);
@@ -1724,6 +2092,16 @@ impl Protocol for AthenaNode {
                 continue;
             }
             q.outstanding = None;
+            // Queries the admission gate is holding back were never
+            // announced; they re-face the gate in the retrieval loop
+            // instead of being re-announced here.
+            if self
+                .admission
+                .get(qid)
+                .is_some_and(|r| !matches!(r.state, AdmissionState::Admitted))
+            {
+                continue;
+            }
             reopen.push((*qid, q.expr.clone(), q.deadline_at));
         }
         let neighbors: Vec<NodeId> = ctx.topology().neighbors(me).collect();
@@ -1759,6 +2137,7 @@ impl Protocol for AthenaNode {
             if let Some(q) = self.queries.get_mut(&qid) {
                 q.check(ctx.now());
             }
+            self.fold_finished_into_load();
             self.emit_query_outcomes(ctx);
         }
     }

@@ -20,11 +20,59 @@ use dde_logic::meta::{Cost, Probability};
 use dde_logic::time::SimTime;
 
 use dde_netsim::topology::{NodeId, Topology};
+use dde_sched::adaptive::AdaptiveState;
 use dde_sched::hybrid::greedy_validity_shortcircuit;
 use dde_sched::item::{Channel, RetrievalItem};
 use dde_sched::shortcircuit::{and_truth_prob, expected_and_cost};
 use dde_workload::catalog::Catalog;
 use std::collections::BTreeSet;
+
+/// Where the decision-driven planner gets its short-circuit probabilities
+/// and provider-reliability weights.
+///
+/// [`Priors::Fixed`] reproduces the pre-adaptive planner bit for bit
+/// (including the `p.powi(n)` grouping of multi-label fetches), so every
+/// committed figure artifact is unchanged when adaptation is off.
+/// [`Priors::Learned`] reads a node's [`AdaptiveState`]: per
+/// *(name-prefix, condition)* truth estimates for term ordering and
+/// per-source reliability scores for provider selection.
+#[derive(Debug, Clone, Copy)]
+pub enum Priors<'a> {
+    /// One static short-circuit probability for every (object, label).
+    Fixed(f64),
+    /// Online estimates from the node's adaptive state.
+    Learned(&'a AdaptiveState),
+}
+
+impl Priors<'_> {
+    /// Probability that a single fetch of the object named `name` leaves
+    /// every label in `labels` true (i.e. does *not* short-circuit the
+    /// term).
+    fn group_prob(&self, name: &dde_naming::name::Name, labels: &[Label]) -> f64 {
+        match self {
+            // Keep `.powi()`: a left-fold product associates differently
+            // in floating point and would silently shift committed
+            // artifacts.
+            Priors::Fixed(p) => p.powi(labels.len() as i32),
+            Priors::Learned(state) => {
+                let rendered = name.to_string();
+                labels
+                    .iter()
+                    .map(|l| state.prob_for(&rendered, l))
+                    .product()
+            }
+        }
+    }
+
+    /// The fetch-success score of `source` in `[0, 1]`; `1.0` (neutral)
+    /// for fixed priors.
+    fn reliability(&self, source: NodeId) -> f64 {
+        match self {
+            Priors::Fixed(_) => 1.0,
+            Priors::Learned(state) => state.reliability.score(source.0 as u32),
+        }
+    }
+}
 
 /// A retrieval strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,8 +201,9 @@ impl Strategy {
     /// for `query` at `now`, or `None` when nothing (useful) remains.
     ///
     /// `candidates` must be the set previously computed by
-    /// [`Strategy::candidates`] for this query. `prob_true` is the prior
-    /// used for short-circuit ratios; `channel` models the bottleneck for
+    /// [`Strategy::candidates`] for this query. `priors` supplies the
+    /// short-circuit probabilities (static or learned) used in the
+    /// §III-A ratios; `channel` models the bottleneck for
     /// validity-feasibility ordering.
     #[allow(clippy::too_many_arguments)]
     pub fn next_request(
@@ -166,11 +215,11 @@ impl Strategy {
         topology: &Topology,
         now: SimTime,
         channel: Channel,
-        prob_true: f64,
+        priors: &Priors<'_>,
     ) -> Option<(usize, Label)> {
         if self.is_decision_driven() {
             self.next_decision_driven(
-                query, candidates, catalog, origin, topology, now, channel, prob_true,
+                query, candidates, catalog, origin, topology, now, channel, priors,
             )
         } else {
             self.next_baseline(query, candidates, catalog, origin, topology, now)
@@ -216,7 +265,7 @@ impl Strategy {
         topology: &Topology,
         now: SimTime,
         channel: Channel,
-        prob_true: f64,
+        priors: &Priors<'_>,
     ) -> Option<(usize, Label)> {
         let relevant = query.relevant_labels(now);
         if relevant.is_empty() {
@@ -227,23 +276,38 @@ impl Strategy {
         // cut off a provider, an alternate (reachable) source is selected
         // instead; only when *no* provider is reachable does the original
         // choice stand (the fetch then stalls until routes heal or the
-        // deadline passes).
+        // deadline passes). Under learned priors the cost is divided by
+        // the source's reliability score — the expected bytes including
+        // retries — so flaky providers lose ties they would otherwise win;
+        // with fixed priors every score is 1.0 and the original integer
+        // ordering is preserved exactly.
+        let pick_cheapest = |pool: &[usize]| -> Option<usize> {
+            match priors {
+                Priors::Fixed(_) => pool
+                    .iter()
+                    .copied()
+                    .min_by_key(|&i| (Self::effective_cost(i, catalog, origin, topology), i)),
+                Priors::Learned(_) => pool.iter().copied().min_by(|&a, &b| {
+                    let weighted = |i: usize| {
+                        Self::effective_cost(i, catalog, origin, topology) as f64
+                            / priors.reliability(catalog.get(i).source).max(0.05)
+                    };
+                    weighted(a).total_cmp(&weighted(b)).then(a.cmp(&b))
+                }),
+            }
+        };
         let provider = |label: &Label| -> Option<usize> {
             let covering: Vec<usize> = candidates
                 .iter()
                 .copied()
                 .filter(|&i| catalog.get(i).covers.iter().any(|l| l == label))
                 .collect();
-            covering
+            let reachable: Vec<usize> = covering
                 .iter()
                 .copied()
                 .filter(|&i| Self::is_reachable(i, catalog, origin, topology))
-                .min_by_key(|&i| (Self::effective_cost(i, catalog, origin, topology), i))
-                .or_else(|| {
-                    covering
-                        .into_iter()
-                        .min_by_key(|&i| (Self::effective_cost(i, catalog, origin, topology), i))
-                })
+                .collect();
+            pick_cheapest(&reachable).or_else(|| pick_cheapest(&covering))
         };
 
         // Rank live terms by expected truth per expected cost over their
@@ -288,7 +352,7 @@ impl Strategy {
                     // "succeeds" (does not short-circuit the term) only if
                     // all of them come back true. Cost is the bytes the
                     // fetch puts on the network (size × hops).
-                    let p = prob_true.powi(labels.len() as i32);
+                    let p = priors.group_prob(&spec.name, &labels);
                     let item = RetrievalItem::new(
                         spec.name.to_string(),
                         Cost::from_bytes(Self::effective_cost(idx, catalog, origin, topology)),
@@ -459,7 +523,7 @@ mod tests {
                 &topo(),
                 SimTime::ZERO,
                 Channel::mbps1(),
-                0.8,
+                &Priors::Fixed(0.8),
             )
             .unwrap();
         // Cheapest candidate first: /cam/a2 (200 KB).
@@ -481,7 +545,7 @@ mod tests {
                 &topo(),
                 SimTime::from_secs(1),
                 Channel::mbps1(),
-                0.8,
+                &Priors::Fixed(0.8),
             )
             .unwrap();
         assert_eq!(idx, 2);
@@ -514,7 +578,7 @@ mod tests {
                 &topo(),
                 now,
                 Channel::mbps1(),
-                0.8,
+                &Priors::Fixed(0.8),
             )
             .unwrap();
         // First candidate in catalog order covering an unknown: /cam/b.
@@ -547,7 +611,7 @@ mod tests {
                 &topo(),
                 now,
                 Channel::mbps1(),
-                0.8,
+                &Priors::Fixed(0.8),
             )
             .unwrap();
         // b is irrelevant; must pick from {c, d}.
@@ -570,7 +634,7 @@ mod tests {
                 &topo(),
                 SimTime::ZERO,
                 Channel::mbps1(),
-                0.8,
+                &Priors::Fixed(0.8),
             )
             .unwrap();
         assert_eq!(label.as_str(), "a", "stable label should be fetched first");
@@ -595,7 +659,7 @@ mod tests {
                 &topo(),
                 SimTime::ZERO,
                 Channel::mbps1(),
-                0.8,
+                &Priors::Fixed(0.8),
             )
             .unwrap();
         assert_eq!(
@@ -626,7 +690,7 @@ mod tests {
                     &topo(),
                     now,
                     Channel::mbps1(),
-                    0.8
+                    &Priors::Fixed(0.8),
                 )
                 .is_none(),
                 "{s} should have nothing to fetch"
@@ -653,7 +717,7 @@ mod tests {
                 &topo(),
                 SimTime::ZERO,
                 Channel::mbps1(),
-                0.8,
+                &Priors::Fixed(0.8),
             )
             .unwrap();
         assert_eq!(idx, 0);

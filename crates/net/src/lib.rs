@@ -35,7 +35,7 @@
 //! equivalence test in `tests/des_tcp_equivalence.rs` holds the two
 //! runtimes to exactly that.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Determinism guardrails (see clippy.toml and dde-lint): the protocol-facing
 // surface of this crate must stay as strict as the simulator's. The TCP and
 // host modules are sanctioned coordinator sites (lint.toml R5

@@ -22,7 +22,7 @@
 //!   partition-independent event keys, so one seed yields a byte-identical
 //!   trace at any thread count.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Determinism guardrails (see clippy.toml and dde-lint): hashed collections
 // and ambient clocks/env reads are disallowed in simulation library code.
 #![deny(clippy::disallowed_methods, clippy::disallowed_types)]

@@ -251,6 +251,26 @@ pub enum EventKind {
         /// Query id.
         query: u64,
     },
+    /// An in-flight fetch hit its retry timeout and the origin is about to
+    /// re-plan; the selected source's reliability estimate is discounted.
+    /// Emitted only by adaptive-planning runs.
+    FetchTimeout {
+        /// Query id.
+        query: u64,
+        /// The object name whose fetch timed out.
+        name: String,
+        /// The source node the fetch was directed at.
+        source: u32,
+    },
+    /// The admission gate ruled on a query (adaptive-planning runs only).
+    Admission {
+        /// Query id.
+        query: u64,
+        /// `admit`, `defer`, or `shed`.
+        verdict: &'static str,
+        /// Predicted expected retrieval cost in bytes at gate time.
+        predicted_bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -278,6 +298,8 @@ impl EventKind {
             EventKind::TriageDrop { .. } => "triage-drop",
             EventKind::QueryResolved { .. } => "query-resolved",
             EventKind::QueryMissed { .. } => "query-missed",
+            EventKind::FetchTimeout { .. } => "fetch-timeout",
+            EventKind::Admission { .. } => "admission",
         }
     }
 
@@ -527,6 +549,24 @@ impl EventKind {
                 ("latency_us".into(), n(*latency_us)),
             ],
             EventKind::QueryMissed { query } => vec![("query".into(), n(*query))],
+            EventKind::FetchTimeout {
+                query,
+                name,
+                source,
+            } => vec![
+                ("query".into(), n(*query)),
+                ("name".into(), s(name)),
+                ("source".into(), u(*source)),
+            ],
+            EventKind::Admission {
+                query,
+                verdict,
+                predicted_bytes,
+            } => vec![
+                ("query".into(), n(*query)),
+                ("verdict".into(), s(verdict)),
+                ("predicted_bytes".into(), n(*predicted_bytes)),
+            ],
         }
     }
 }
@@ -719,6 +759,16 @@ mod tests {
                 latency_us: 1_200_000,
             },
             EventKind::QueryMissed { query: 8 },
+            EventKind::FetchTimeout {
+                query: 7,
+                name: "/city/x".into(),
+                source: 3,
+            },
+            EventKind::Admission {
+                query: 9,
+                verdict: "defer",
+                predicted_bytes: 450_000,
+            },
         ];
         for kind in kinds {
             let rec = TraceRecord {

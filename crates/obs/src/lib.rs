@@ -20,6 +20,8 @@
 //!   per-kind count deltas) behind the `dde-trace` CLI;
 //! - [`chrome`] — Chrome trace-event (`about:tracing` / Perfetto) export;
 //! - [`attrib`] — attribution keys and the normalized record view;
+//! - [`feedback`] — the predicted-vs-actual planner feedback fold
+//!   ([`FeedbackSink`]) behind the adaptive-planning loop;
 //! - [`ledger`] — the per-decision [`CostLedger`] with its conservation
 //!   invariant, built live by [`LedgerSink`] or folded from JSONL;
 //! - [`merge`] — deterministic merging of per-shard trace streams for the
@@ -27,7 +29,7 @@
 //! - [`critical`] — per-query critical-path extraction (queueing vs.
 //!   transit vs. annotation vs. scheduler wait).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Determinism guardrails (see clippy.toml and dde-lint): hashed collections
 // and ambient clocks/env reads are disallowed in simulation library code.
 #![deny(clippy::disallowed_methods, clippy::disallowed_types)]
@@ -37,6 +39,7 @@ pub mod chrome;
 pub mod critical;
 pub mod diff;
 pub mod event;
+pub mod feedback;
 pub mod hist;
 pub mod json;
 pub mod ledger;
@@ -48,6 +51,7 @@ pub use chrome::{chrome_trace_from_jsonl, chrome_trace_from_records};
 pub use critical::{PathBreakdown, PathWalk};
 pub use diff::{diff_jsonl, Divergence, TraceDiff};
 pub use event::{EventKind, TraceRecord};
+pub use feedback::{EpochStats, FeedbackSink};
 pub use hist::Histogram;
 pub use json::{JsonError, JsonValue};
 pub use ledger::{CostLedger, LedgerSink, PredicateWork, QueryCost};

@@ -21,7 +21,11 @@
 //!   objects (the paper's §IV-B open problem), with the no-reuse reference;
 //! - [`tree`] — expected-cost-optimal evaluation plans for general AND/OR
 //!   expression trees (depth-first-optimal, checked against brute force);
-//! - [`optimal`] — exhaustive-search baselines for validation and ablation.
+//! - [`optimal`] — exhaustive-search baselines for validation and ablation;
+//! - [`adaptive`] — online EWMA estimators (short-circuit probability per
+//!   name-prefix/condition, per-source reliability, bytes-per-decision
+//!   load) that re-parameterize the planners each decision epoch, plus
+//!   admission control that sheds or defers queries under overload.
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@
 // and ambient clocks/env reads are disallowed in simulation library code.
 #![deny(clippy::disallowed_methods, clippy::disallowed_types)]
 
+pub mod adaptive;
 pub mod explain;
 pub mod feasibility;
 pub mod hierarchical;
@@ -55,6 +60,10 @@ pub mod shared;
 pub mod shortcircuit;
 pub mod tree;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveState, AdmissionPolicy, AdmissionVerdict, Ewma, LoadEstimator,
+    ReliabilityEstimator, TruthEstimator,
+};
 pub use explain::{explain_dnf_plan, explain_plan};
 pub use feasibility::{analyze, is_feasible, optimal_cost, ScheduleAnalysis};
 pub use hierarchical::{
@@ -72,6 +81,7 @@ pub use tree::{plan_expr, EvalPlan, PlanNode};
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
+    pub use crate::adaptive::{AdaptiveConfig, AdaptiveState, AdmissionPolicy, AdmissionVerdict};
     pub use crate::feasibility::{analyze, is_feasible, optimal_cost, ScheduleAnalysis};
     pub use crate::hierarchical::{
         hierarchical_schedule, hierarchical_schedule_with, BandPolicy, MultiQuerySchedule,

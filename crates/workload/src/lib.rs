@@ -16,7 +16,7 @@
 //! - [`workflow`] — mission doctrines (flowcharts of decision points) and
 //!   the Markov miner that anticipates the next decision (§VIII).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Determinism guardrails (see clippy.toml and dde-lint): hashed collections
 // and ambient clocks/env reads are disallowed in simulation library code.
 #![deny(clippy::disallowed_methods, clippy::disallowed_types)]

@@ -3,7 +3,7 @@
 
 use dde_core::msg::QueryId;
 use dde_core::query::QueryState;
-use dde_core::strategy::Strategy;
+use dde_core::strategy::{Priors, Strategy};
 use dde_logic::label::Label;
 use dde_logic::time::{SimDuration, SimTime};
 use dde_sched::item::Channel;
@@ -56,7 +56,8 @@ proptest! {
             let cands = strategy.candidates(&labels, &s.catalog, inst.origin, &s.topology);
             let q = QueryState::new(QueryId(0), inst.expr.clone(), SimTime::ZERO, inst.deadline);
             let Some((idx, label)) = strategy.next_request(
-                &q, &cands, &s.catalog, inst.origin, &s.topology, now, Channel::mbps1(), 0.8,
+                &q, &cands, &s.catalog, inst.origin, &s.topology, now, Channel::mbps1(),
+                &Priors::Fixed(0.8),
             ) else {
                 // Nothing to fetch on a fresh query only if no candidates.
                 prop_assert!(cands.is_empty());
