@@ -1,0 +1,322 @@
+//! Live-cluster wall-clock benchmark: the observability plane's gated
+//! numbers (`BENCH_live.json`).
+//!
+//! Boots loopback TCP clusters at several node counts, runs the same
+//! timing-insensitive query band on each, and reports two kinds of
+//! numbers:
+//!
+//! - an **invariant block** (compared exactly by the bench gate): the
+//!   DES baseline's decision outcomes and byte totals, plus whether every
+//!   live rep matched them — the decision-driven equivalence claim at
+//!   bench scale;
+//! - a **wall block** (compared within deliberately wide tolerances):
+//!   events/sec, send-latency percentiles from the merged per-node
+//!   `host.send_wall_us` histograms, connect retries, and health probes
+//!   answered per run — wall-clock numbers that depend on the host.
+//!
+//! Usage: `cargo run -p dde-bench --bin live --release`
+//! Knobs: `DDE_LIVE_NODES` (default `"2 4 8"`), `DDE_REPS` (default 3),
+//! `DDE_LIVE_SCALE` (virtual-clock scale, default 32).
+
+// Bench binary: env knobs and wall-clock timing are out-of-simulation.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+use dde_bench::{stat, write_bench_json};
+use dde_core::{RunOptions, RunReport, Strategy};
+use dde_logic::dnf::{Dnf, Term};
+use dde_logic::label::Label;
+use dde_logic::time::{SimDuration, SimTime};
+use dde_net::{run_cluster_tcp_observed, ClusterConfig, ClusterOutcome, DesTransport};
+use dde_netsim::{FaultSchedule, LinkSpec, NodeId, Topology};
+use dde_obs::{Histogram, JsonValue, NullSink};
+use dde_workload::{
+    Catalog, DynamicsClass, ObjectSpec, QueryInstance, RoadGrid, Scenario, ScenarioConfig,
+    WorldModel,
+};
+use std::time::Instant;
+
+/// A chain of `n` nodes (0 — 1 — … — n−1) with both objects hosted at the
+/// far end and three spaced queries. Timing-insensitive by the same
+/// construction as the DES/TCP equivalence suite: static ground truth,
+/// 600 s validity, 60 s deadlines — so decision outcomes and byte totals
+/// are a pure function of protocol decisions at any node count.
+fn chain_scenario(n: usize) -> Scenario {
+    assert!(n >= 2, "chain needs at least two nodes");
+    let mut topology = Topology::new(n);
+    for i in 0..n - 1 {
+        topology.add_link(NodeId(i), NodeId(i + 1), LinkSpec::mbps1());
+    }
+    topology.rebuild_routes();
+
+    let slow = SimDuration::from_secs(600);
+    let mut world = WorldModel::new(5);
+    world.register(Label::new("x"), DynamicsClass::Slow, slow, 1.0);
+    world.register(Label::new("y"), DynamicsClass::Slow, slow, 1.0);
+
+    let mut catalog = Catalog::new();
+    catalog.add(ObjectSpec {
+        name: "/city/seg/x/cam/a".parse().expect("valid name"),
+        covers: vec![Label::new("x")],
+        size: 250_000,
+        source: NodeId(n - 1),
+        class: DynamicsClass::Slow,
+        validity: slow,
+    });
+    catalog.add(ObjectSpec {
+        name: "/city/seg/x/cam/wide".parse().expect("valid name"),
+        covers: vec![Label::new("x"), Label::new("y")],
+        size: 450_000,
+        source: NodeId(n - 1),
+        class: DynamicsClass::Slow,
+        validity: slow,
+    });
+
+    let query = |id: u64, origin: usize, labels: &[&str], at: u64| QueryInstance {
+        id,
+        origin: NodeId(origin),
+        expr: Dnf::from_terms(vec![Term::all_of(labels.iter().copied())]),
+        deadline: SimDuration::from_secs(60),
+        issue_at: SimTime::from_secs(at),
+    };
+    let queries = vec![
+        query(0, 0, &["x"], 5),           // full-chain fetch
+        query(1, n / 2, &["x", "y"], 20), // panorama from mid-chain
+        query(2, n - 1, &["x"], 35),      // co-located, no network needed
+    ];
+
+    let grid = RoadGrid::new(2, n);
+    let node_sites = grid.intersections().take(n).collect();
+    Scenario {
+        config: ScenarioConfig::small(),
+        grid,
+        node_sites,
+        topology,
+        world,
+        catalog,
+        queries,
+        faults: FaultSchedule::new(),
+    }
+}
+
+fn stat_json(samples: &[f64]) -> JsonValue {
+    let st = stat(samples);
+    JsonValue::Object(vec![
+        ("mean".into(), JsonValue::Float(st.mean)),
+        ("stddev".into(), JsonValue::Float(st.stddev)),
+    ])
+}
+
+/// Decision-level agreement with the DES baseline: outcome tallies and
+/// the total byte count (the equivalence suite's headline claim).
+fn matches_des(des: &RunReport, live: &RunReport) -> bool {
+    des.resolved == live.resolved
+        && des.viable == live.viable
+        && des.infeasible == live.infeasible
+        && des.missed == live.missed
+        && des.total_bytes == live.total_bytes
+}
+
+/// Per-rep wall-clock observations folded from one cluster outcome.
+struct RepObs {
+    events_per_sec: f64,
+    send_hist: Histogram,
+    connect_retries: u64,
+    probes_ok: u64,
+    send_errors: u64,
+    decode_errors: u64,
+    matched: bool,
+}
+
+fn observe_rep(des: &RunReport, outcome: &ClusterOutcome, wall_secs: f64) -> RepObs {
+    let mut send_hist = Histogram::new();
+    let mut connect_retries = 0;
+    let mut probes_ok = 0;
+    let mut send_errors = 0;
+    let mut decode_errors = 0;
+    for node in &outcome.nodes {
+        if let Some(h) = node.snapshot.histogram("host.send_wall_us") {
+            send_hist.merge(h);
+        }
+        connect_retries += node.snapshot.counter("tcp.connect_retries").unwrap_or(0);
+        probes_ok += node.probes_ok;
+        send_errors += node.snapshot.counter("host.send_errors").unwrap_or(0);
+        decode_errors += node.snapshot.counter("tcp.decode_errors").unwrap_or(0);
+    }
+    RepObs {
+        events_per_sec: outcome.report.events as f64 / wall_secs.max(1e-9),
+        send_hist,
+        connect_retries,
+        probes_ok,
+        send_errors,
+        decode_errors,
+        matched: matches_des(des, &outcome.report),
+    }
+}
+
+fn point_json(n: usize, des: &RunReport, obs: &[RepObs]) -> JsonValue {
+    let all_matched = obs.iter().all(|o| o.matched);
+    let send_errors: u64 = obs.iter().map(|o| o.send_errors).sum();
+    let decode_errors: u64 = obs.iter().map(|o| o.decode_errors).sum();
+    let invariant = JsonValue::Object(vec![
+        ("queries".into(), JsonValue::Int(des.total_queries as i64)),
+        ("resolved".into(), JsonValue::Int(des.resolved as i64)),
+        ("viable".into(), JsonValue::Int(des.viable as i64)),
+        ("infeasible".into(), JsonValue::Int(des.infeasible as i64)),
+        ("missed".into(), JsonValue::Int(des.missed as i64)),
+        ("total_bytes".into(), JsonValue::Int(des.total_bytes as i64)),
+        ("live_matches_des".into(), JsonValue::Bool(all_matched)),
+        ("send_errors".into(), JsonValue::Int(send_errors as i64)),
+        ("decode_errors".into(), JsonValue::Int(decode_errors as i64)),
+    ]);
+
+    let pct = |p: f64| {
+        let samples: Vec<f64> = obs
+            .iter()
+            .map(|o| {
+                o.send_hist
+                    .percentile(p)
+                    .map_or(0.0, |d| d.as_micros() as f64)
+            })
+            .collect();
+        stat_json(&samples)
+    };
+    let series = |f: &dyn Fn(&RepObs) -> f64| {
+        let samples: Vec<f64> = obs.iter().map(f).collect();
+        stat_json(&samples)
+    };
+    let wall = JsonValue::Object(vec![
+        (
+            "events_per_sec".into(),
+            series(&|o: &RepObs| o.events_per_sec),
+        ),
+        (
+            "send_latency_us".into(),
+            JsonValue::Object(vec![
+                ("p50".into(), pct(50.0)),
+                ("p95".into(), pct(95.0)),
+                ("p99".into(), pct(99.0)),
+            ]),
+        ),
+        (
+            "connect_retries".into(),
+            series(&|o: &RepObs| o.connect_retries as f64),
+        ),
+        (
+            "probes_per_run".into(),
+            series(&|o: &RepObs| o.probes_ok as f64),
+        ),
+    ]);
+
+    JsonValue::Object(vec![
+        ("nodes".into(), JsonValue::Int(n as i64)),
+        ("invariant".into(), invariant),
+        ("wall".into(), wall),
+    ])
+}
+
+fn main() {
+    let node_counts: Vec<usize> = std::env::var("DDE_LIVE_NODES")
+        .unwrap_or_else(|_| "2 4 8".to_string())
+        .split_whitespace()
+        .filter_map(|t| t.parse().ok())
+        .filter(|&n| n >= 2)
+        .collect();
+    let reps: u64 = std::env::var("DDE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let time_scale: u64 = std::env::var("DDE_LIVE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    assert!(
+        !node_counts.is_empty(),
+        "DDE_LIVE_NODES has no usable entries"
+    );
+
+    println!(
+        "== live cluster bench: nodes {node_counts:?}, {reps} reps, virtual-clock scale {time_scale} ==\n"
+    );
+    let options = RunOptions::new(Strategy::Lvf);
+    let config = ClusterConfig {
+        time_scale,
+        probe_wall_ms: Some(100),
+        flight_recorder_cap: 256,
+    };
+
+    let mut points = Vec::new();
+    let mut failures = 0usize;
+    for &n in &node_counts {
+        let scenario = chain_scenario(n);
+        let des = DesTransport::new(options.clone()).run_observed(&scenario, Box::new(NullSink));
+        assert_eq!(
+            des.resolved, des.total_queries,
+            "DES baseline failed to decide all queries at n={n}"
+        );
+
+        let mut obs = Vec::new();
+        for rep in 0..reps {
+            let start = Instant::now();
+            let outcome =
+                match run_cluster_tcp_observed::<NullSink>(&scenario, &options, &config, None) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("live bench: n={n} rep={rep}: cluster run failed: {e}");
+                        failures += 1;
+                        continue;
+                    }
+                };
+            let wall = start.elapsed().as_secs_f64();
+            let o = observe_rep(&des, &outcome, wall);
+            if !o.matched {
+                eprintln!("live bench: n={n} rep={rep}: live run diverged from DES baseline");
+            }
+            obs.push(o);
+        }
+        if obs.is_empty() {
+            failures += 1;
+            continue;
+        }
+
+        let eps = stat(&obs.iter().map(|o| o.events_per_sec).collect::<Vec<_>>());
+        let p95 = obs
+            .iter()
+            .map(|o| {
+                o.send_hist
+                    .percentile(95.0)
+                    .map_or(0.0, |d| d.as_micros() as f64)
+            })
+            .sum::<f64>()
+            / obs.len() as f64;
+        let probes = obs.iter().map(|o| o.probes_ok).sum::<u64>();
+        let retries = obs.iter().map(|o| o.connect_retries).sum::<u64>();
+        println!(
+            "  n={n}: {:.0} ± {:.0} events/s | send p95 ~{p95:.0} us | {retries} retries | {probes} probes ok | des match: {}",
+            eps.mean,
+            eps.stddev,
+            obs.iter().all(|o| o.matched),
+        );
+        points.push(point_json(n, &des, &obs));
+    }
+
+    let doc = JsonValue::Object(vec![
+        ("figure".into(), JsonValue::Str("live".into())),
+        ("scale".into(), JsonValue::Str("small".into())),
+        ("reps".into(), JsonValue::Int(reps as i64)),
+        ("time_scale".into(), JsonValue::Int(time_scale as i64)),
+        (
+            "nodes".into(),
+            JsonValue::Array(
+                node_counts
+                    .iter()
+                    .map(|&n| JsonValue::Int(n as i64))
+                    .collect(),
+            ),
+        ),
+        ("points".into(), JsonValue::Array(points)),
+    ]);
+    write_bench_json("BENCH_live.json", &doc);
+    if failures > 0 {
+        eprintln!("live bench FAILED: {failures} cluster run(s) did not complete");
+        std::process::exit(1);
+    }
+}

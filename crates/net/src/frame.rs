@@ -44,6 +44,9 @@ const KIND_ANNOUNCE: u8 = 0;
 const KIND_REQUEST: u8 = 1;
 const KIND_DATA: u8 = 2;
 const KIND_LABEL_SHARE: u8 = 3;
+// Control plane (never seen by the protocol): health probing.
+const KIND_HEALTH_PROBE: u8 = 4;
+const KIND_HEALTH_REPORT: u8 = 5;
 
 /// A malformed or unrepresentable wire frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +115,13 @@ pub enum FrameError {
         /// The unrepresentable node index.
         node: usize,
     },
+    /// A control-plane frame (health probe/report) arrived where a
+    /// protocol [`AthenaMsg`] was expected. Control frames are only valid
+    /// on prober connections; see [`decode_any`].
+    Control {
+        /// The control frame's kind tag.
+        found: u8,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -141,6 +151,9 @@ impl std::fmt::Display for FrameError {
             FrameError::ConflictingTerm => write!(f, "term with contradictory literals"),
             FrameError::NodeTooLarge { node } => {
                 write!(f, "node id {node} does not fit the wire format")
+            }
+            FrameError::Control { found } => {
+                write!(f, "control frame (kind {found}) on the protocol path")
             }
         }
     }
@@ -414,7 +427,7 @@ pub fn payload_len(header: &[u8; HEADER_LEN]) -> Result<usize, FrameError> {
     if header[2] != VERSION {
         return Err(FrameError::BadVersion { found: header[2] });
     }
-    if header[3] > KIND_LABEL_SHARE {
+    if header[3] > KIND_HEALTH_REPORT {
         return Err(FrameError::UnknownKind { found: header[3] });
     }
     let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]) as usize;
@@ -427,9 +440,87 @@ pub fn payload_len(header: &[u8; HEADER_LEN]) -> Result<usize, FrameError> {
     Ok(len)
 }
 
+/// A control-plane message: health probing between the cluster
+/// coordinator and a node's transport. Control frames share the `DN`
+/// frame format with the protocol but are answered *below* the
+/// [`Transport`](crate::transport::Transport) handler seam — the Athena
+/// protocol never sees them, so the DES backend (which has no sockets)
+/// is untouched by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// A liveness/readiness poll. `seq` is echoed in the report so the
+    /// prober can match replies to requests.
+    HealthProbe {
+        /// Caller-chosen sequence number, echoed back verbatim.
+        seq: u64,
+    },
+    /// A node's answer to a [`ControlMsg::HealthProbe`].
+    HealthReport(crate::health::HealthReport),
+}
+
+/// Any decodable wire frame: a protocol message or a control message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// An Athena protocol message (kinds 0–3).
+    Protocol(AthenaMsg),
+    /// A control-plane message (kinds 4–5).
+    Control(ControlMsg),
+}
+
+/// Encodes a control message into one complete wire frame.
+pub fn encode_control(msg: &ControlMsg) -> Result<Vec<u8>, FrameError> {
+    let mut e = Enc { buf: Vec::new() };
+    let kind = match msg {
+        ControlMsg::HealthProbe { seq } => {
+            e.u64(*seq);
+            KIND_HEALTH_PROBE
+        }
+        ControlMsg::HealthReport(r) => {
+            e.u64(r.seq);
+            e.u32(r.node);
+            e.boolean(r.ready);
+            e.u64(r.heartbeat_us);
+            e.u64(r.dispatches);
+            e.str(&r.metrics_json);
+            KIND_HEALTH_REPORT
+        }
+    };
+    let payload = e.buf;
+    if payload.len() > MAX_PAYLOAD {
+        return Err(FrameError::Oversized {
+            len: payload.len(),
+            max: MAX_PAYLOAD,
+        });
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
 /// Decodes one complete wire frame (header + payload) back into an
 /// [`AthenaMsg`]. Total: any malformed input yields a typed error.
+/// Control frames (health probe/report) are rejected with
+/// [`FrameError::Control`] — the protocol path must never observe them;
+/// use [`decode_any`] where both planes are legal.
 pub fn decode(frame: &[u8]) -> Result<AthenaMsg, FrameError> {
+    match decode_any(frame)? {
+        WireFrame::Protocol(msg) => Ok(msg),
+        WireFrame::Control(c) => Err(FrameError::Control {
+            found: match c {
+                ControlMsg::HealthProbe { .. } => KIND_HEALTH_PROBE,
+                ControlMsg::HealthReport(_) => KIND_HEALTH_REPORT,
+            },
+        }),
+    }
+}
+
+/// Decodes one complete wire frame into either plane. Total: any
+/// malformed input yields a typed error.
+pub fn decode_any(frame: &[u8]) -> Result<WireFrame, FrameError> {
     if frame.len() < HEADER_LEN {
         return Err(FrameError::Truncated { at: frame.len() });
     }
@@ -452,101 +543,125 @@ pub fn decode(frame: &[u8]) -> Result<AthenaMsg, FrameError> {
         pos: 0,
     };
     let msg = match header[3] {
-        KIND_ANNOUNCE => {
-            let qid = QueryId(c.u64()?);
-            let origin = c.node()?;
-            let deadline_at = c.time()?;
-            let term_count = c.u32()? as usize;
-            let mut terms = Vec::new();
-            for _ in 0..term_count {
-                let lit_count = c.u32()? as usize;
-                let mut literals = Vec::new();
-                for _ in 0..lit_count {
-                    let negated = c.boolean()?;
-                    let label = c.label()?;
-                    literals.push(if negated {
-                        Literal::negative(label)
-                    } else {
-                        Literal::positive(label)
-                    });
+        KIND_HEALTH_PROBE => {
+            let seq = c.u64()?;
+            WireFrame::Control(ControlMsg::HealthProbe { seq })
+        }
+        KIND_HEALTH_REPORT => {
+            let seq = c.u64()?;
+            let node = c.u32()?;
+            let ready = c.boolean()?;
+            let heartbeat_us = c.u64()?;
+            let dispatches = c.u64()?;
+            let metrics_json = c.str()?.to_owned();
+            WireFrame::Control(ControlMsg::HealthReport(crate::health::HealthReport {
+                seq,
+                node,
+                ready,
+                heartbeat_us,
+                dispatches,
+                metrics_json,
+            }))
+        }
+        kind => WireFrame::Protocol(match kind {
+            KIND_ANNOUNCE => {
+                let qid = QueryId(c.u64()?);
+                let origin = c.node()?;
+                let deadline_at = c.time()?;
+                let term_count = c.u32()? as usize;
+                let mut terms = Vec::new();
+                for _ in 0..term_count {
+                    let lit_count = c.u32()? as usize;
+                    let mut literals = Vec::new();
+                    for _ in 0..lit_count {
+                        let negated = c.boolean()?;
+                        let label = c.label()?;
+                        literals.push(if negated {
+                            Literal::negative(label)
+                        } else {
+                            Literal::positive(label)
+                        });
+                    }
+                    terms.push(
+                        Term::try_from_literals(literals).ok_or(FrameError::ConflictingTerm)?,
+                    );
                 }
-                terms.push(Term::try_from_literals(literals).ok_or(FrameError::ConflictingTerm)?);
+                AthenaMsg::QueryAnnounce {
+                    qid,
+                    origin,
+                    expr: Dnf::from_terms(terms),
+                    deadline_at,
+                }
             }
-            AthenaMsg::QueryAnnounce {
-                qid,
-                origin,
-                expr: Dnf::from_terms(terms),
-                deadline_at,
-            }
-        }
-        KIND_REQUEST => {
-            let qid = QueryId(c.u64()?);
-            let origin = c.node()?;
-            let kind = match c.u8()? {
-                0 => RequestKind::Fetch,
-                1 => RequestKind::Prefetch,
-                found => return Err(FrameError::BadRequestKind { found }),
-            };
-            let name = c.name()?;
-            let want_count = c.u32()? as usize;
-            let mut wanted = Vec::new();
-            for _ in 0..want_count {
-                wanted.push(c.label()?);
-            }
-            AthenaMsg::Request {
-                name,
-                wanted,
-                qid,
-                origin,
-                kind,
-            }
-        }
-        KIND_DATA => {
-            let name = c.name()?;
-            let cover_count = c.u32()? as usize;
-            let mut covers = Vec::new();
-            for _ in 0..cover_count {
-                covers.push(c.label()?);
-            }
-            let size = c.u64()?;
-            let source = c.node()?;
-            let sampled_at = c.time()?;
-            let validity = c.duration()?;
-            let push_to = c.opt_node()?;
-            let for_query = c.opt_qid()?;
-            AthenaMsg::Data {
-                object: EvidenceObject {
+            KIND_REQUEST => {
+                let qid = QueryId(c.u64()?);
+                let origin = c.node()?;
+                let kind = match c.u8()? {
+                    0 => RequestKind::Fetch,
+                    1 => RequestKind::Prefetch,
+                    found => return Err(FrameError::BadRequestKind { found }),
+                };
+                let name = c.name()?;
+                let want_count = c.u32()? as usize;
+                let mut wanted = Vec::new();
+                for _ in 0..want_count {
+                    wanted.push(c.label()?);
+                }
+                AthenaMsg::Request {
                     name,
-                    covers,
-                    size,
-                    source,
+                    wanted,
+                    qid,
+                    origin,
+                    kind,
+                }
+            }
+            KIND_DATA => {
+                let name = c.name()?;
+                let cover_count = c.u32()? as usize;
+                let mut covers = Vec::new();
+                for _ in 0..cover_count {
+                    covers.push(c.label()?);
+                }
+                let size = c.u64()?;
+                let source = c.node()?;
+                let sampled_at = c.time()?;
+                let validity = c.duration()?;
+                let push_to = c.opt_node()?;
+                let for_query = c.opt_qid()?;
+                AthenaMsg::Data {
+                    object: EvidenceObject {
+                        name,
+                        covers,
+                        size,
+                        source,
+                        sampled_at,
+                        validity,
+                    },
+                    push_to,
+                    for_query,
+                }
+            }
+            KIND_LABEL_SHARE => {
+                let label = c.label()?;
+                let value = c.boolean()?;
+                let sampled_at = c.time()?;
+                let validity = c.duration()?;
+                let annotator = c.node()?;
+                let based_on = c.name()?;
+                let for_query = c.opt_qid()?;
+                AthenaMsg::LabelShare {
+                    label,
+                    value,
                     sampled_at,
                     validity,
-                },
-                push_to,
-                for_query,
+                    annotator,
+                    based_on,
+                    for_query,
+                }
             }
-        }
-        KIND_LABEL_SHARE => {
-            let label = c.label()?;
-            let value = c.boolean()?;
-            let sampled_at = c.time()?;
-            let validity = c.duration()?;
-            let annotator = c.node()?;
-            let based_on = c.name()?;
-            let for_query = c.opt_qid()?;
-            AthenaMsg::LabelShare {
-                label,
-                value,
-                sampled_at,
-                validity,
-                annotator,
-                based_on,
-                for_query,
-            }
-        }
-        // payload_len() has already rejected unknown kinds.
-        found => return Err(FrameError::UnknownKind { found }),
+            // payload_len() has already rejected unknown kinds.
+            found => return Err(FrameError::UnknownKind { found }),
+        }),
     };
     if c.pos != payload.len() {
         return Err(FrameError::Trailing {
@@ -611,6 +726,50 @@ mod tests {
         let mut bad = good;
         bad.push(0);
         assert!(matches!(decode(&bad), Err(FrameError::Trailing { .. })));
+    }
+
+    #[test]
+    fn control_frames_round_trip_and_stay_off_the_protocol_path() {
+        let probe = ControlMsg::HealthProbe { seq: 7 };
+        let frame = encode_control(&probe).unwrap();
+        assert_eq!(decode_any(&frame).unwrap(), WireFrame::Control(probe));
+        assert!(matches!(
+            decode(&frame),
+            Err(FrameError::Control { found: 4 })
+        ));
+
+        let report = ControlMsg::HealthReport(crate::health::HealthReport {
+            seq: 7,
+            node: 3,
+            ready: true,
+            heartbeat_us: 123,
+            dispatches: 9,
+            metrics_json: r#"{"counters":{}}"#.to_string(),
+        });
+        let frame = encode_control(&report).unwrap();
+        assert_eq!(decode_any(&frame).unwrap(), WireFrame::Control(report));
+        assert!(matches!(
+            decode(&frame),
+            Err(FrameError::Control { found: 5 })
+        ));
+    }
+
+    #[test]
+    fn decode_any_accepts_protocol_frames() {
+        let msg = sample_request();
+        let frame = encode(&msg).unwrap();
+        assert_eq!(decode_any(&frame).unwrap(), WireFrame::Protocol(msg));
+    }
+
+    #[test]
+    fn truncated_control_frames_are_rejected() {
+        let frame = encode_control(&ControlMsg::HealthProbe { seq: 1 }).unwrap();
+        for cut in 0..frame.len() {
+            assert!(
+                decode_any(&frame[..cut]).is_err(),
+                "decode_any accepted a control frame cut to {cut} bytes"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Health probing for the live cluster: per-node liveness/readiness
+//! state and the coordinator-side probe client.
+//!
+//! A [`HealthState`] is shared between a node's [`NodeHost`] loop (which
+//! marks readiness and beats the heartbeat) and its
+//! [`TcpTransport`] reader threads (which answer
+//! [`ControlMsg::HealthProbe`] frames on prober connections with a
+//! [`HealthReport`] carrying the
+//! node's full metrics snapshot). Probes are served *below* the
+//! [`Transport`](crate::transport::Transport) handler seam: the Athena
+//! protocol never observes them, no trace record is emitted for them,
+//! and the DES backend has no sockets to probe — so the deterministic
+//! path is untouched by construction (DESIGN.md §5i).
+//!
+//! [`NodeHost`]: crate::host::NodeHost
+//! [`TcpTransport`]: crate::tcp::TcpTransport
+
+use crate::error::NetError;
+use crate::frame::{self, ControlMsg, WireFrame};
+use crate::tcp::{HELLO_LEN, HELLO_MAGIC, HELLO_ROLE_PROBER, HELLO_VERSION};
+use dde_logic::time::SimTime;
+use dde_netsim::NodeId;
+use dde_obs::metrics::{Counter, Gauge, MetricsError, MetricsRegistry, MetricsSnapshot};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The node id a prober puts in its hello: probers are not cluster nodes.
+pub(crate) const PROBER_NODE_ID: u32 = u32::MAX;
+
+/// One node's live health: readiness, last heartbeat (virtual time), and
+/// the stimulus-dispatch count, all backed by registry series so they
+/// show up in the metrics snapshot too.
+#[derive(Debug)]
+pub struct HealthState {
+    registry: Arc<MetricsRegistry>,
+    ready: Arc<Gauge>,
+    heartbeat: Arc<Gauge>,
+    dispatches: Arc<Counter>,
+}
+
+impl HealthState {
+    /// Health state backed by `registry` (series `health.ready`,
+    /// `health.heartbeat_us`, `host.dispatches`).
+    pub fn new(registry: Arc<MetricsRegistry>) -> HealthState {
+        let ready = registry.gauge("health.ready");
+        let heartbeat = registry.gauge("health.heartbeat_us");
+        let dispatches = registry.counter("host.dispatches");
+        HealthState {
+            registry,
+            ready,
+            heartbeat,
+            dispatches,
+        }
+    }
+
+    /// The registry backing this state (shared with the host and
+    /// transport instrumentation).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Mark the node ready: the host loop has started driving the
+    /// protocol.
+    pub fn mark_ready(&self) {
+        self.ready.set(1);
+    }
+
+    /// Mark the node stopped (host loop exited).
+    pub fn mark_stopped(&self) {
+        self.ready.set(0);
+    }
+
+    /// Whether the node is currently marked ready.
+    pub fn is_ready(&self) -> bool {
+        self.ready.get() == 1
+    }
+
+    /// Record a heartbeat at virtual time `now`.
+    pub fn beat(&self, now: SimTime) {
+        self.heartbeat
+            .set(i64::try_from(now.as_micros()).unwrap_or(i64::MAX));
+    }
+
+    /// Count one dispatched stimulus (start, delivery, timer, external).
+    pub fn record_dispatch(&self) {
+        self.dispatches.inc();
+    }
+
+    /// Total stimuli dispatched so far.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.get()
+    }
+
+    /// Assemble the probe answer for `node`, echoing `seq`, with the full
+    /// metrics snapshot serialized into `metrics_json`.
+    pub fn report(&self, node: NodeId, seq: u64) -> HealthReport {
+        HealthReport {
+            seq,
+            node: u32::try_from(node.0).unwrap_or(PROBER_NODE_ID),
+            ready: self.is_ready(),
+            heartbeat_us: u64::try_from(self.heartbeat.get()).unwrap_or(0),
+            dispatches: self.dispatches.get(),
+            metrics_json: self.registry.snapshot().to_json_value().to_compact_string(),
+        }
+    }
+}
+
+/// A node's answer to a health probe (wire kind 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The probe's sequence number, echoed verbatim.
+    pub seq: u64,
+    /// The answering node's id.
+    pub node: u32,
+    /// Whether the host loop is running (readiness).
+    pub ready: bool,
+    /// Virtual time of the node's last host-loop heartbeat, µs.
+    pub heartbeat_us: u64,
+    /// Stimuli dispatched so far (start + deliveries + timers +
+    /// externals).
+    pub dispatches: u64,
+    /// The node's full [`MetricsSnapshot`] in its compact JSON
+    /// exposition format.
+    pub metrics_json: String,
+}
+
+impl HealthReport {
+    /// Parse the embedded metrics snapshot.
+    pub fn metrics(&self) -> Result<MetricsSnapshot, MetricsError> {
+        MetricsSnapshot::parse(&self.metrics_json)
+    }
+}
+
+fn io_err(context: &'static str) -> impl FnOnce(std::io::Error) -> NetError {
+    move |source| NetError::Io { context, source }
+}
+
+/// Probe the node listening at `addr`: connect (with `timeout` applied
+/// to connect, write, and read), send one
+/// [`HealthProbe`](ControlMsg::HealthProbe), and wait for the
+/// [`HealthReport`]. Every failure mode — refused connection, timeout,
+/// malformed reply — is a typed error, never a panic.
+pub fn probe_health(
+    addr: SocketAddr,
+    seq: u64,
+    timeout: Duration,
+) -> Result<HealthReport, NetError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).map_err(io_err("probe connect"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(io_err("probe set_read_timeout"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(io_err("probe set_write_timeout"))?;
+
+    let mut hello = [0u8; HELLO_LEN];
+    hello[0..2].copy_from_slice(&HELLO_MAGIC);
+    hello[2] = HELLO_VERSION;
+    hello[3] = HELLO_ROLE_PROBER;
+    hello[4..8].copy_from_slice(&PROBER_NODE_ID.to_be_bytes());
+    stream.write_all(&hello).map_err(io_err("probe hello"))?;
+
+    let probe = frame::encode_control(&ControlMsg::HealthProbe { seq })?;
+    stream.write_all(&probe).map_err(io_err("probe write"))?;
+
+    let mut header = [0u8; frame::HEADER_LEN];
+    stream
+        .read_exact(&mut header)
+        .map_err(io_err("probe read header"))?;
+    let len = frame::payload_len(&header)?;
+    let mut buf = vec![0u8; frame::HEADER_LEN + len];
+    buf[..frame::HEADER_LEN].copy_from_slice(&header);
+    stream
+        .read_exact(&mut buf[frame::HEADER_LEN..])
+        .map_err(io_err("probe read payload"))?;
+    match frame::decode_any(&buf)? {
+        WireFrame::Control(ControlMsg::HealthReport(report)) => Ok(report),
+        _ => Err(NetError::Unsupported {
+            what: "unexpected health-probe reply frame",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_carries_a_parseable_snapshot() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("tcp.frames_out").add(5);
+        let health = HealthState::new(Arc::clone(&registry));
+        health.mark_ready();
+        health.beat(SimTime::from_micros(42));
+        health.record_dispatch();
+        let report = health.report(NodeId(2), 9);
+        assert_eq!(report.seq, 9);
+        assert_eq!(report.node, 2);
+        assert!(report.ready);
+        assert_eq!(report.heartbeat_us, 42);
+        assert_eq!(report.dispatches, 1);
+        let snap = report.metrics().unwrap();
+        assert_eq!(snap.counter("tcp.frames_out"), Some(5));
+        assert_eq!(snap.gauge("health.ready"), Some(1));
+    }
+
+    #[test]
+    fn stopped_state_reports_not_ready() {
+        let health = HealthState::new(Arc::new(MetricsRegistry::new()));
+        health.mark_ready();
+        health.mark_stopped();
+        assert!(!health.is_ready());
+        assert!(!health.report(NodeId(0), 0).ready);
+    }
+
+    #[test]
+    fn probing_a_dead_address_is_a_typed_error() {
+        // Bind then drop a listener to get an address nobody serves.
+        let addr = {
+            let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = probe_health(addr, 1, Duration::from_millis(200));
+        assert!(matches!(err, Err(NetError::Io { .. })), "{err:?}");
+    }
+}

@@ -25,7 +25,15 @@
 //!   `AthenaNode` over any [`Transport`] with a scaled virtual clock and
 //!   a timer wheel, plus [`run_cluster_tcp`], which boots a loopback
 //!   cluster of node threads from a [`dde_workload::scenario::Scenario`]
-//!   and folds per-node outcomes into a [`dde_core::RunReport`].
+//!   and folds per-node outcomes into a [`dde_core::RunReport`]
+//!   ([`run_cluster_tcp_observed`] additionally returns per-node
+//!   [`NodeTelemetry`]);
+//! - [`health`] — the live observability control plane: [`HealthState`]
+//!   shared between host loop and transport, the [`probe_health`] client,
+//!   and the [`HealthReport`] wire answer carrying a full
+//!   [`dde_obs::MetricsSnapshot`]. Probes ride dedicated control frames
+//!   served below the [`Transport`] handler seam, so the protocol path
+//!   and the DES backend never observe them (DESIGN.md §5i).
 //!
 //! The DES backend is byte-deterministic; the TCP backend is not (thread
 //! scheduling and wall-clock jitter reorder deliveries). What carries
@@ -46,13 +54,21 @@
 pub mod des;
 pub mod error;
 pub mod frame;
+pub mod health;
 pub mod host;
 pub mod tcp;
 pub mod transport;
 
 pub use des::DesTransport;
 pub use error::NetError;
-pub use frame::{decode, encode, FrameError, HEADER_LEN, MAX_PAYLOAD};
-pub use host::{run_cluster_tcp, ClusterConfig, HostOutcome, NodeHost, VirtualClock};
+pub use frame::{
+    decode, decode_any, encode, encode_control, ControlMsg, FrameError, WireFrame, HEADER_LEN,
+    MAX_PAYLOAD,
+};
+pub use health::{probe_health, HealthReport, HealthState};
+pub use host::{
+    run_cluster_tcp, run_cluster_tcp_observed, ClusterConfig, ClusterOutcome, HostOutcome,
+    NodeHost, NodeTelemetry, VirtualClock,
+};
 pub use tcp::TcpTransport;
 pub use transport::{MessageHandler, Transport};

@@ -27,24 +27,31 @@
 #![allow(clippy::disallowed_types)]
 
 use crate::error::NetError;
-use crate::frame;
+use crate::frame::{self, ControlMsg, WireFrame};
+use crate::health::HealthState;
 use crate::host::VirtualClock;
 use crate::transport::{MessageHandler, Transport};
 use dde_core::AthenaMsg;
 use dde_logic::time::SimTime;
 use dde_netsim::NodeId;
+use dde_obs::metrics::{Counter, MetricsRegistry};
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Hello preamble: magic(2) + version(1) + reserved(1) + node id(u32 BE).
-const HELLO_LEN: usize = 8;
-const HELLO_MAGIC: [u8; 2] = *b"DH";
-const HELLO_VERSION: u8 = 1;
+/// Hello preamble: magic(2) + version(1) + role(1) + node id(u32 BE).
+pub(crate) const HELLO_LEN: usize = 8;
+pub(crate) const HELLO_MAGIC: [u8; 2] = *b"DH";
+pub(crate) const HELLO_VERSION: u8 = 1;
+/// Role byte: a cluster peer streaming protocol frames.
+pub(crate) const HELLO_ROLE_PEER: u8 = 0;
+/// Role byte: a health prober exchanging control frames on this
+/// connection (served below the protocol seam; see `crate::health`).
+pub(crate) const HELLO_ROLE_PROBER: u8 = 1;
 
 /// Reader poll granularity: how often a blocked read re-checks the stop
 /// flag. Bounds shutdown latency, not throughput.
@@ -81,6 +88,43 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// The transport's metric handles, pre-registered so hot paths never
+/// touch the registry lock. Shared with the accept/reader threads.
+#[derive(Debug)]
+pub(crate) struct TcpStats {
+    /// Connection attempts, including the first try of each connect.
+    pub connect_attempts: Arc<Counter>,
+    /// Backoff retries (attempts beyond the first per connect call).
+    pub connect_retries: Arc<Counter>,
+    /// Protocol frames written.
+    pub frames_out: Arc<Counter>,
+    /// Protocol frame bytes written (header + payload).
+    pub bytes_out: Arc<Counter>,
+    /// Protocol frames fully read and decoded.
+    pub frames_in: Arc<Counter>,
+    /// Protocol frame bytes read (header + payload).
+    pub bytes_in: Arc<Counter>,
+    /// Malformed hellos/frames (each closed its connection).
+    pub decode_errors: Arc<Counter>,
+    /// Health probes answered on prober connections.
+    pub probes_answered: Arc<Counter>,
+}
+
+impl TcpStats {
+    fn new(registry: &MetricsRegistry) -> TcpStats {
+        TcpStats {
+            connect_attempts: registry.counter("tcp.connect_attempts"),
+            connect_retries: registry.counter("tcp.connect_retries"),
+            frames_out: registry.counter("tcp.frames_out"),
+            bytes_out: registry.counter("tcp.bytes_out"),
+            frames_in: registry.counter("tcp.frames_in"),
+            bytes_in: registry.counter("tcp.bytes_in"),
+            decode_errors: registry.counter("tcp.decode_errors"),
+            probes_answered: registry.counter("tcp.probes_answered"),
+        }
+    }
+}
+
 /// One node's TCP endpoint. See the module docs for the thread layout.
 pub struct TcpTransport {
     local: NodeId,
@@ -92,8 +136,9 @@ pub struct TcpTransport {
     conns: Mutex<BTreeMap<usize, TcpStream>>,
     inbound: Arc<Mutex<Inbound>>,
     stop: Arc<AtomicBool>,
-    /// Frames that failed to decode (connection was closed in response).
-    decode_errors: Arc<AtomicU64>,
+    /// Live metric handles (frames/bytes in and out, connect retries,
+    /// decode errors, probes answered).
+    stats: Arc<TcpStats>,
     accept_thread: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -113,13 +158,16 @@ impl TcpTransport {
     /// `listener`. `book[i]` is node *i*'s listen address; `neighbors`
     /// are `local`'s adjacent nodes (ascending). The accept loop starts
     /// immediately, so peers may connect before the host begins driving
-    /// the protocol.
+    /// the protocol. `registry` receives the transport's `tcp.*` metric
+    /// series; `health` answers probe connections.
     pub fn new(
         local: NodeId,
         listener: TcpListener,
         book: Arc<Vec<SocketAddr>>,
         mut neighbors: Vec<NodeId>,
         clock: Arc<VirtualClock>,
+        registry: &MetricsRegistry,
+        health: Arc<HealthState>,
     ) -> Result<TcpTransport, NetError> {
         neighbors.sort_unstable();
         let local_addr = listener.local_addr().map_err(|source| NetError::Io {
@@ -131,17 +179,19 @@ impl TcpTransport {
             pending: Vec::new(),
         }));
         let stop = Arc::new(AtomicBool::new(false));
-        let decode_errors = Arc::new(AtomicU64::new(0));
+        let stats = Arc::new(TcpStats::new(registry));
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_thread = {
             let inbound = Arc::clone(&inbound);
             let stop = Arc::clone(&stop);
-            let decode_errors = Arc::clone(&decode_errors);
+            let stats = Arc::clone(&stats);
             let readers = Arc::clone(&readers);
             let nodes = book.len();
             std::thread::spawn(move || {
-                accept_loop(listener, nodes, inbound, stop, decode_errors, readers);
+                accept_loop(
+                    listener, local, nodes, inbound, stop, stats, health, readers,
+                );
             })
         };
 
@@ -154,7 +204,7 @@ impl TcpTransport {
             conns: Mutex::new(BTreeMap::new()),
             inbound,
             stop,
-            decode_errors,
+            stats,
             accept_thread: Some(accept_thread),
             readers,
         })
@@ -168,7 +218,7 @@ impl TcpTransport {
     /// How many inbound frames failed to decode (each closed its
     /// connection).
     pub fn decode_errors(&self) -> u64 {
-        self.decode_errors.load(Ordering::Relaxed)
+        self.stats.decode_errors.get()
     }
 
     /// Connects to `to` with capped-backoff retry and sends the hello.
@@ -184,15 +234,18 @@ impl TcpTransport {
                 return Err(NetError::Shutdown);
             }
             if attempt > 0 {
+                self.stats.connect_retries.inc();
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(CONNECT_BACKOFF_CAP);
             }
+            self.stats.connect_attempts.inc();
             match TcpStream::connect(addr) {
                 Ok(mut stream) => {
                     let _ = stream.set_nodelay(true);
                     let mut hello = [0u8; HELLO_LEN];
                     hello[0..2].copy_from_slice(&HELLO_MAGIC);
                     hello[2] = HELLO_VERSION;
+                    hello[3] = HELLO_ROLE_PEER;
                     let id = u32::try_from(self.local.0).map_err(|_| {
                         NetError::Frame(frame::FrameError::NodeTooLarge { node: self.local.0 })
                     })?;
@@ -266,7 +319,10 @@ impl Transport for TcpTransport {
             });
         }
         let bytes = frame::encode(msg)?;
-        self.write_frame(to, &bytes)
+        self.write_frame(to, &bytes)?;
+        self.stats.frames_out.inc();
+        self.stats.bytes_out.add(bytes.len() as u64);
+        Ok(())
     }
 
     fn set_message_handler(&mut self, mut handler: MessageHandler) {
@@ -302,85 +358,168 @@ impl Drop for TcpTransport {
     }
 }
 
-/// Accepts connections until the stop flag rises, spawning one reader
-/// per connection.
-fn accept_loop(
-    listener: TcpListener,
+/// Everything a reader thread needs, cloneable per accepted connection.
+struct ReaderCtx {
+    local: NodeId,
     nodes: usize,
     inbound: Arc<Mutex<Inbound>>,
     stop: Arc<AtomicBool>,
-    decode_errors: Arc<AtomicU64>,
+    stats: Arc<TcpStats>,
+    health: Arc<HealthState>,
+}
+
+impl Clone for ReaderCtx {
+    fn clone(&self) -> Self {
+        ReaderCtx {
+            local: self.local,
+            nodes: self.nodes,
+            inbound: Arc::clone(&self.inbound),
+            stop: Arc::clone(&self.stop),
+            stats: Arc::clone(&self.stats),
+            health: Arc::clone(&self.health),
+        }
+    }
+}
+
+/// Accepts connections until the stop flag rises, spawning one reader
+/// per connection.
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    local: NodeId,
+    nodes: usize,
+    inbound: Arc<Mutex<Inbound>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<TcpStats>,
+    health: Arc<HealthState>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
+    let ctx = ReaderCtx {
+        local,
+        nodes,
+        inbound,
+        stop,
+        stats,
+        health,
+    };
     loop {
         let Ok((stream, _)) = listener.accept() else {
-            if stop.load(Ordering::SeqCst) {
+            if ctx.stop.load(Ordering::SeqCst) {
                 return;
             }
             continue;
         };
-        if stop.load(Ordering::SeqCst) {
+        if ctx.stop.load(Ordering::SeqCst) {
             return; // the wake-up connection from shutdown()
         }
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(READ_POLL));
-        let inbound = Arc::clone(&inbound);
-        let stop_r = Arc::clone(&stop);
-        let errors = Arc::clone(&decode_errors);
+        let ctx_r = ctx.clone();
         let handle = std::thread::spawn(move || {
-            reader_loop(stream, nodes, inbound, stop_r, errors);
+            reader_loop(stream, ctx_r);
         });
         lock(&readers).push(handle);
     }
 }
 
-/// Reads the hello, then a stream of frames, dispatching each decoded
-/// message. Any malformed input (bad hello, bad header, undecodable
-/// payload) closes the connection; the process never panics on wire
-/// bytes.
-fn reader_loop(
-    mut stream: TcpStream,
-    nodes: usize,
-    inbound: Arc<Mutex<Inbound>>,
-    stop: Arc<AtomicBool>,
-    decode_errors: Arc<AtomicU64>,
-) {
+/// Reads the hello, then dispatches on the role byte: peer connections
+/// stream protocol frames to the handler; prober connections are
+/// answered with health reports below the protocol seam. Any malformed
+/// input (bad hello, bad header, undecodable payload) closes the
+/// connection; the process never panics on wire bytes.
+fn reader_loop(mut stream: TcpStream, ctx: ReaderCtx) {
     let mut hello = [0u8; HELLO_LEN];
-    if read_exact_polled(&mut stream, &mut hello, &stop).is_err() {
+    if read_exact_polled(&mut stream, &mut hello, &ctx.stop).is_err() {
         return;
     }
     if hello[0..2] != HELLO_MAGIC || hello[2] != HELLO_VERSION {
-        decode_errors.fetch_add(1, Ordering::Relaxed);
+        ctx.stats.decode_errors.inc();
+        return;
+    }
+    if hello[3] == HELLO_ROLE_PROBER {
+        prober_loop(stream, &ctx);
+        return;
+    }
+    if hello[3] != HELLO_ROLE_PEER {
+        ctx.stats.decode_errors.inc();
         return;
     }
     let from = u32::from_be_bytes([hello[4], hello[5], hello[6], hello[7]]) as usize;
-    if from >= nodes {
-        decode_errors.fetch_add(1, Ordering::Relaxed);
+    if from >= ctx.nodes {
+        ctx.stats.decode_errors.inc();
         return;
     }
     let from = NodeId(from);
 
     let mut header = [0u8; frame::HEADER_LEN];
     loop {
-        if read_exact_polled(&mut stream, &mut header, &stop).is_err() {
+        if read_exact_polled(&mut stream, &mut header, &ctx.stop).is_err() {
             return;
         }
         let len = match frame::payload_len(&header) {
             Ok(len) => len,
             Err(_) => {
-                decode_errors.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.decode_errors.inc();
                 return;
             }
         };
         let mut buf = vec![0u8; frame::HEADER_LEN + len];
         buf[..frame::HEADER_LEN].copy_from_slice(&header);
-        if read_exact_polled(&mut stream, &mut buf[frame::HEADER_LEN..], &stop).is_err() {
+        if read_exact_polled(&mut stream, &mut buf[frame::HEADER_LEN..], &ctx.stop).is_err() {
             return;
         }
+        // Control frames are not legal on peer connections: frame::decode
+        // rejects them, which closes this connection like any other
+        // malformed input.
         match frame::decode(&buf) {
-            Ok(msg) => lock(&inbound).dispatch(from, msg),
+            Ok(msg) => {
+                ctx.stats.frames_in.inc();
+                ctx.stats.bytes_in.add(buf.len() as u64);
+                lock(&ctx.inbound).dispatch(from, msg);
+            }
             Err(_) => {
-                decode_errors.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.decode_errors.inc();
+                return;
+            }
+        }
+    }
+}
+
+/// Serves one prober connection: each [`ControlMsg::HealthProbe`] frame
+/// is answered with a [`ControlMsg::HealthReport`] on the same stream.
+/// Anything else closes the connection. The Athena protocol (and its
+/// trace) never observes this exchange.
+fn prober_loop(mut stream: TcpStream, ctx: &ReaderCtx) {
+    let mut header = [0u8; frame::HEADER_LEN];
+    loop {
+        if read_exact_polled(&mut stream, &mut header, &ctx.stop).is_err() {
+            return;
+        }
+        let len = match frame::payload_len(&header) {
+            Ok(len) => len,
+            Err(_) => {
+                ctx.stats.decode_errors.inc();
+                return;
+            }
+        };
+        let mut buf = vec![0u8; frame::HEADER_LEN + len];
+        buf[..frame::HEADER_LEN].copy_from_slice(&header);
+        if read_exact_polled(&mut stream, &mut buf[frame::HEADER_LEN..], &ctx.stop).is_err() {
+            return;
+        }
+        match frame::decode_any(&buf) {
+            Ok(WireFrame::Control(ControlMsg::HealthProbe { seq })) => {
+                let report = ctx.health.report(ctx.local, seq);
+                let Ok(reply) = frame::encode_control(&ControlMsg::HealthReport(report)) else {
+                    return;
+                };
+                if stream.write_all(&reply).is_err() {
+                    return;
+                }
+                ctx.stats.probes_answered.inc();
+            }
+            Ok(_) | Err(_) => {
+                ctx.stats.decode_errors.inc();
                 return;
             }
         }

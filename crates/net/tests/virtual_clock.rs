@@ -1,0 +1,76 @@
+//! [`VirtualClock`] contract tests: the live backend's single sanctioned
+//! wall-clock anchor must be monotone, saturating, and scale-consistent,
+//! because every protocol deadline and telemetry wall-latency figure is
+//! derived from it.
+
+use dde_logic::time::{SimDuration, SimTime};
+use dde_net::VirtualClock;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn scale_is_clamped_to_at_least_one() {
+    assert_eq!(VirtualClock::start(0).scale(), 1);
+    assert_eq!(VirtualClock::start(1).scale(), 1);
+    assert_eq!(VirtualClock::start(64).scale(), 64);
+}
+
+#[test]
+fn wall_until_saturates_to_zero_for_past_times() {
+    let clock = VirtualClock::start(1000);
+    // Time zero is already in the past the instant the clock starts.
+    assert_eq!(clock.wall_until(SimTime::ZERO), Duration::ZERO);
+    // So is "now" itself by the time the second call reads the clock.
+    let now = clock.now();
+    assert_eq!(clock.wall_until(now), Duration::ZERO);
+}
+
+#[test]
+fn wall_until_round_trips_through_the_scale() {
+    // 10 virtual seconds at scale 1000 is 10 wall milliseconds.
+    let clock = VirtualClock::start(1000);
+    let target = clock.now() + SimDuration::from_secs(10);
+    let wall = clock.wall_until(target);
+    assert!(wall <= Duration::from_millis(10), "{wall:?} too long");
+    assert!(
+        wall >= Duration::from_millis(5),
+        "{wall:?} lost most of the interval to the scale round-trip"
+    );
+}
+
+#[test]
+fn huge_scales_saturate_instead_of_panicking() {
+    let clock = VirtualClock::start(u64::MAX);
+    std::thread::sleep(Duration::from_millis(2));
+    // Virtual now has overflowed the u64 microsecond range: the clock
+    // must pin at the saturation point, not wrap or panic.
+    assert_eq!(clock.now(), SimTime::from_micros(u64::MAX));
+    assert_eq!(
+        clock.wall_until(SimTime::from_micros(u64::MAX)),
+        Duration::ZERO
+    );
+}
+
+#[test]
+fn now_is_monotone_under_concurrent_readers() {
+    let clock = Arc::new(VirtualClock::start(64));
+    let start = clock.now();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                let mut prev = clock.now();
+                for _ in 0..20_000 {
+                    let now = clock.now();
+                    assert!(now >= prev, "clock went backwards: {prev:?} -> {now:?}");
+                    prev = now;
+                }
+                prev
+            })
+        })
+        .collect();
+    for handle in readers {
+        let last = handle.join().expect("reader thread");
+        assert!(last >= start);
+    }
+}

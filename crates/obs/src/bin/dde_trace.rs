@@ -7,6 +7,7 @@
 //! dde-trace attribute A.jsonl [--json]  # per-decision cost ledger
 //! dde-trace critical-path A.jsonl [--json]  # latency breakdown per query
 //! dde-trace bench-diff BASE.json FRESH.json [bench.toml]  # regression gate
+//! dde-trace metrics SNAP.json [OTHER.json]  # pretty-print or diff snapshots
 //! ```
 
 // CLI entry point: argv/exit-code handling is inherently ambient; the
@@ -14,7 +15,9 @@
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 
 use dde_obs::json::{parse, JsonValue};
-use dde_obs::{chrome_trace_from_jsonl, diff_jsonl, CostLedger};
+use dde_obs::{
+    chrome_trace_from_jsonl, diff_jsonl, parse_snapshot_document, CostLedger, MetricsSnapshot,
+};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::process::ExitCode;
@@ -41,6 +44,11 @@ const USAGE: &str = "usage:
   dde-trace bench-diff <baseline.json> <fresh.json> [<bench.toml>]
                                               compare BENCH_* documents within
                                               tolerance; exit 1 on regression
+  dde-trace metrics <snapshot.json>           pretty-print a metrics snapshot
+                                              (bare or per-node collection);
+                                              exit 1 on malformed input
+  dde-trace metrics <a.json> <b.json>         diff two snapshots; exit 1 on
+                                              difference or malformed input
 ";
 
 fn read(path: &str) -> Result<String, String> {
@@ -317,6 +325,63 @@ fn cmd_bench_diff(baseline: &str, fresh: &str, tol_path: Option<&str>) -> Result
     }
 }
 
+/// Loads a metrics document: either one bare snapshot or the cluster
+/// demo's `{"nodes":[{"node":N,"metrics":{...}}]}` collection. Malformed
+/// input is a *gate failure* (printed, exit 1), not a usage error.
+fn load_snapshots(path: &str) -> Result<Vec<(Option<u64>, MetricsSnapshot)>, String> {
+    let text = read(path)?;
+    let doc = parse(&text).map_err(|e| format!("dde-trace: {path}: invalid JSON: {e:?}"))?;
+    parse_snapshot_document(&doc).map_err(|e| format!("dde-trace: {path}: {e}"))
+}
+
+fn cmd_metrics(path: &str) -> Result<ExitCode, String> {
+    let snaps = match load_snapshots(path) {
+        Ok(snaps) => snaps,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let mut out = String::new();
+    for (node, snap) in &snaps {
+        if let Some(n) = node {
+            out.push_str(&format!("node {n}\n"));
+        }
+        out.push_str(&snap.render_text());
+    }
+    write_stdout(&out)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_metrics_diff(left: &str, right: &str) -> Result<ExitCode, String> {
+    let (l, r) = match (load_snapshots(left), load_snapshots(right)) {
+        (Ok(l), Ok(r)) => (l, r),
+        (l, r) => {
+            for res in [l.err(), r.err()].into_iter().flatten() {
+                eprintln!("{res}");
+            }
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    // Per-node collections are folded into one aggregate per side, so a
+    // 4-node run diffs cleanly against a 2-node one.
+    let fold = |snaps: Vec<(Option<u64>, MetricsSnapshot)>| {
+        let mut total = MetricsSnapshot::default();
+        for (_, snap) in &snaps {
+            total.merge(snap);
+        }
+        total
+    };
+    let delta = fold(l).diff(&fold(r));
+    if delta.is_empty() {
+        write_stdout(&format!("metrics: {left} and {right} are identical\n"))?;
+        Ok(ExitCode::SUCCESS)
+    } else {
+        write_stdout(&delta)?;
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 fn parse_query_flag(args: &[String]) -> Result<Option<u64>, String> {
     match args {
         [] => Ok(None),
@@ -339,6 +404,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         [cmd, a, flag] if cmd == "critical-path" && flag == "--json" => cmd_critical_path(a, true),
         [cmd, a, b] if cmd == "bench-diff" => cmd_bench_diff(a, b, None),
         [cmd, a, b, t] if cmd == "bench-diff" => cmd_bench_diff(a, b, Some(t)),
+        [cmd, a] if cmd == "metrics" => cmd_metrics(a),
+        [cmd, a, b] if cmd == "metrics" => cmd_metrics_diff(a, b),
         _ => Err(USAGE.to_string()),
     }
 }
@@ -415,6 +482,55 @@ mod tests {
         failures.clear();
         bench_compare("$", "", false, &a, &c, &tol, &mut failures);
         assert_eq!(failures.len(), 1, "{failures:?}");
+    }
+
+    #[test]
+    fn metrics_command_prints_diffs_and_rejects_malformed_input() {
+        let dir = std::env::temp_dir();
+        let write = |name: &str, text: &str| {
+            let path = dir.join(format!("dde_trace_test_{name}"));
+            std::fs::write(&path, text).unwrap();
+            path.to_string_lossy().into_owned()
+        };
+        let reg_a = dde_obs::MetricsRegistry::new();
+        reg_a.counter("tcp.frames_out").add(3);
+        let a = write(
+            "a.json",
+            &reg_a.snapshot().to_json_value().to_compact_string(),
+        );
+        let reg_b = dde_obs::MetricsRegistry::new();
+        reg_b.counter("tcp.frames_out").add(5);
+        let b = write(
+            "b.json",
+            &reg_b.snapshot().to_json_value().to_compact_string(),
+        );
+
+        // ExitCode has no PartialEq; compare through Debug.
+        let code = |r: Result<ExitCode, String>| format!("{:?}", r.unwrap());
+        let ok = format!("{:?}", ExitCode::SUCCESS);
+        let fail = format!("{:?}", ExitCode::FAILURE);
+
+        assert_eq!(code(cmd_metrics(&a)), ok);
+        assert_eq!(code(cmd_metrics_diff(&a, &a)), ok);
+        assert_eq!(code(cmd_metrics_diff(&a, &b)), fail);
+
+        // A per-node collection is accepted whole...
+        let nodes = write(
+            "nodes.json",
+            &format!(
+                r#"{{"nodes":[{{"node":0,"metrics":{}}}]}}"#,
+                reg_a.snapshot().to_json_value().to_compact_string()
+            ),
+        );
+        assert_eq!(code(cmd_metrics(&nodes)), ok);
+        assert_eq!(code(cmd_metrics_diff(&nodes, &a)), ok);
+
+        // ...and malformed input is a gate failure, not a crash.
+        let bad = write("bad.json", r#"{"counters":"nope"}"#);
+        assert_eq!(code(cmd_metrics(&bad)), fail);
+        assert_eq!(code(cmd_metrics_diff(&bad, &a)), fail);
+        let not_json = write("bad.txt", "not json at all");
+        assert_eq!(code(cmd_metrics(&not_json)), fail);
     }
 
     #[test]

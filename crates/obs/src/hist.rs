@@ -28,7 +28,12 @@ pub const BUCKET_BOUNDS_US: [u64; 16] = [
     100_000_000,
 ];
 
-const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1; // + overflow
+/// Number of buckets including the trailing overflow bucket. This is the
+/// length of [`Histogram::bucket_counts`] and the `counts` argument of
+/// [`Histogram::from_bucket_counts`].
+pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_US.len() + 1;
+
+const BUCKETS: usize = BUCKET_COUNT;
 
 /// A fixed-bucket histogram of simulated durations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +57,32 @@ impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild a histogram from raw bucket counts (e.g. a snapshot read
+    /// back from JSON, or the atomic counters of a live
+    /// [`WallHist`](crate::metrics::WallHist)). The total is the sum of
+    /// the counts; `max_us` is clamped to 0 when the histogram is empty so
+    /// round-tripping through [`bucket_counts`](Self::bucket_counts) is
+    /// exact.
+    pub fn from_bucket_counts(counts: [u64; BUCKET_COUNT], max_us: u64) -> Self {
+        let total = counts.iter().sum();
+        Self {
+            counts,
+            total,
+            max_us: if total == 0 { 0 } else { max_us },
+        }
+    }
+
+    /// Raw per-bucket counts, indexed like [`BUCKET_BOUNDS_US`] with the
+    /// overflow bucket last.
+    pub fn bucket_counts(&self) -> &[u64; BUCKET_COUNT] {
+        &self.counts
+    }
+
+    /// Largest recorded duration in microseconds (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
     }
 
     /// Record one duration.

@@ -16,6 +16,11 @@
 //! - [`json`] — the hand-rolled JSON subset (the workspace is offline:
 //!   no serde_json), with a deterministic writer and a strict parser;
 //! - [`hist`] — fixed-bucket latency histograms surfacing p50/p95/p99;
+//! - [`metrics`] — the live wall-clock metrics registry (lock-free
+//!   counters/gauges/histograms) with a deterministic exposition snapshot,
+//!   used only by the non-deterministic cluster backend (DESIGN.md §5i);
+//! - [`flight`] — the bounded [`FlightRecorder`] ring sink that keeps the
+//!   last N records for post-mortem dumps on live-cluster failures;
 //! - [`diff`] — structural trace diffing (first divergent event,
 //!   per-kind count deltas) behind the `dde-trace` CLI;
 //! - [`chrome`] — Chrome trace-event (`about:tracing` / Perfetto) export;
@@ -40,10 +45,12 @@ pub mod critical;
 pub mod diff;
 pub mod event;
 pub mod feedback;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod ledger;
 pub mod merge;
+pub mod metrics;
 pub mod sink;
 
 pub use attrib::{LedgerView, PredKey, ViewKind};
@@ -52,8 +59,13 @@ pub use critical::{PathBreakdown, PathWalk};
 pub use diff::{diff_jsonl, Divergence, TraceDiff};
 pub use event::{EventKind, TraceRecord};
 pub use feedback::{EpochStats, FeedbackSink};
-pub use hist::Histogram;
+pub use flight::FlightRecorder;
+pub use hist::{Histogram, BUCKET_BOUNDS_US, BUCKET_COUNT};
 pub use json::{JsonError, JsonValue};
 pub use ledger::{CostLedger, LedgerSink, PredicateWork, QueryCost};
 pub use merge::{MergeKey, ShardMerger};
+pub use metrics::{
+    parse_snapshot_document, Counter, Gauge, MetricsError, MetricsRegistry, MetricsSnapshot,
+    WallHist,
+};
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, SharedSink, Sink, TeeSink};

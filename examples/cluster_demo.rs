@@ -4,10 +4,12 @@
 //! per Athena node — runs a small query band against it, then replays the
 //! identical scenario through the deterministic DES backend and checks
 //! the two agree on every decision outcome and every attributed byte.
-//! The live run's merged trace is written as JSONL (CI uploads it as an
-//! artifact).
+//! The live run's merged trace is written as JSONL, its per-node metrics
+//! snapshots as a `{"nodes": [...]}` collection readable by
+//! `dde-trace metrics` (CI uploads both as artifacts).
 //!
-//! Run with: `cargo run -p dde-examples --bin cluster_demo [trace.jsonl]`
+//! Run with: `cargo run -p dde-examples --bin cluster_demo
+//! [trace.jsonl [metrics.json]]`
 //!
 //! Exits nonzero if the backends disagree — this is the CI cluster-smoke
 //! gate, not just a printout.
@@ -19,9 +21,9 @@ use dde_core::{QueryOutcome, QueryStatus, RunOptions, RunReport, Strategy};
 use dde_logic::dnf::{Dnf, Term};
 use dde_logic::label::Label;
 use dde_logic::time::{SimDuration, SimTime};
-use dde_net::{run_cluster_tcp, ClusterConfig, DesTransport};
+use dde_net::{run_cluster_tcp_observed, ClusterConfig, DesTransport, NodeTelemetry};
 use dde_netsim::{FaultSchedule, LinkSpec, NodeId, Topology};
-use dde_obs::{JsonlSink, NullSink};
+use dde_obs::{JsonValue, JsonlSink, NullSink};
 use dde_workload::{
     Catalog, DynamicsClass, ObjectSpec, QueryInstance, RoadGrid, Scenario, ScenarioConfig,
     WorldModel,
@@ -157,10 +159,76 @@ fn compare(des: &RunReport, tcp: &RunReport) -> usize {
     mismatches
 }
 
+/// Prints the per-node live-telemetry table: what each node's registry
+/// counted, plus the coordinator prober's tallies.
+fn print_telemetry(nodes: &[NodeTelemetry]) {
+    println!("\n  per-node live telemetry:");
+    println!(
+        "  {:>4} {:>10} {:>10} {:>12} {:>10} {:>12} {:>8} {:>12} {:>12}",
+        "node",
+        "dispatches",
+        "frames_out",
+        "bytes_out",
+        "frames_in",
+        "bytes_in",
+        "retries",
+        "send p95 us",
+        "probes ok/ko"
+    );
+    for t in nodes {
+        let c = |name: &str| t.snapshot.counter(name).unwrap_or(0);
+        let send_p95 = t
+            .snapshot
+            .histogram("host.send_wall_us")
+            .and_then(|h| h.p95())
+            .map_or(0, |d| d.as_micros());
+        println!(
+            "  {:>4} {:>10} {:>10} {:>12} {:>10} {:>12} {:>8} {:>12} {:>9}/{:<2}",
+            t.node,
+            c("host.dispatches"),
+            c("tcp.frames_out"),
+            c("tcp.bytes_out"),
+            c("tcp.frames_in"),
+            c("tcp.bytes_in"),
+            c("tcp.connect_retries"),
+            send_p95,
+            t.probes_ok,
+            t.probes_failed,
+        );
+    }
+}
+
+/// The metrics artifact: the per-node collection shape
+/// `dde_obs::parse_snapshot_document` (and `dde-trace metrics`) accepts,
+/// with the prober tallies alongside each snapshot.
+fn metrics_document(nodes: &[NodeTelemetry]) -> JsonValue {
+    let entries = nodes
+        .iter()
+        .map(|t| {
+            JsonValue::Object(vec![
+                ("node".into(), JsonValue::Int(t.node as i64)),
+                (
+                    "probes_ok".into(),
+                    JsonValue::Int(t.probes_ok.min(i64::MAX as u64) as i64),
+                ),
+                (
+                    "probes_failed".into(),
+                    JsonValue::Int(t.probes_failed.min(i64::MAX as u64) as i64),
+                ),
+                ("metrics".into(), t.snapshot.to_json_value()),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![("nodes".into(), JsonValue::Array(entries))])
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace_path = std::env::args() // lint: allow(nondeterminism) — CLI trace-path selection only; the scenario itself is fixed
         .nth(1)
         .unwrap_or_else(|| "cluster_trace.jsonl".to_string());
+    let metrics_path = std::env::args() // lint: allow(nondeterminism) — CLI artifact-path selection only
+        .nth(2)
+        .unwrap_or_else(|| "cluster_metrics.json".to_string());
     let scenario = star_scenario();
     let options = RunOptions::new(Strategy::Lvf);
 
@@ -176,13 +244,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.topology.len()
     );
     let trace = JsonlSink::new(BufWriter::new(std::fs::File::create(&trace_path)?));
-    let tcp = run_cluster_tcp(&scenario, &options, &ClusterConfig::default(), Some(trace))?;
+    let outcome =
+        run_cluster_tcp_observed(&scenario, &options, &ClusterConfig::default(), Some(trace))?;
+    let tcp = &outcome.report;
     println!(
         "  resolved {}/{} | total bytes {} | trace -> {}",
         tcp.resolved, tcp.total_queries, tcp.total_bytes, trace_path
     );
 
-    let mismatches = compare(&des, &tcp);
+    print_telemetry(&outcome.nodes);
+    let mut doc = metrics_document(&outcome.nodes).to_pretty_string();
+    doc.push('\n');
+    std::fs::write(&metrics_path, doc)?;
+    println!("  metrics -> {metrics_path}");
+
+    let mismatches = compare(&des, tcp);
     if mismatches > 0 {
         eprintln!("\ncluster demo FAILED: {mismatches} mismatches between backends");
         std::process::exit(1);
